@@ -1,0 +1,152 @@
+"""Tables 2 and 3 — space usage and matvec time of core and composed matrices.
+
+Tables 2 and 3 of the paper are analytic complexity tables; this benchmark
+measures the quantities they bound: the memory footprint of each matrix
+representation and the wall-clock time of a matrix-vector product, for the
+core implicit matrices (Identity, Ones, Prefix, Suffix, Wavelet) and for the
+composed census workload of Example 7.3 (Kron(Prefix, Prefix,
+Union(Total, Identity, Dense))).
+
+Paper claims reproduced: implicit matrices use O(1) state versus O(n^2) for
+dense Prefix/Suffix/Wavelet, and the Example 7.3 workload needs a few hundred
+bytes implicitly versus gigabytes dense.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.matrix import (
+    DenseMatrix,
+    HaarWavelet,
+    Identity,
+    Kronecker,
+    Ones,
+    Prefix,
+    SparseMatrix,
+    Suffix,
+    Total,
+    VStack,
+)
+
+
+def _approx_size_bytes(matrix) -> int:
+    """Rough in-memory footprint of a matrix object."""
+    if isinstance(matrix, DenseMatrix):
+        return matrix.array.nbytes
+    if isinstance(matrix, SparseMatrix):
+        m = matrix.matrix
+        return m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+    # Implicit matrices: object overhead only.
+    return sys.getsizeof(matrix)
+
+
+def core_matrix_rows(n: int = 2048):
+    """(matrix, representation, bytes, matvec seconds) for each core matrix."""
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=n)
+    rows = []
+    for name, implicit in [
+        ("Identity", Identity(n)),
+        ("Ones", Ones(n, n)),
+        ("Prefix", Prefix(n)),
+        ("Suffix", Suffix(n)),
+        ("Wavelet", HaarWavelet(n)),
+    ]:
+        representations = {
+            "implicit": implicit,
+            "sparse": SparseMatrix(implicit.sparse()),
+            "dense": DenseMatrix(implicit.dense()),
+        }
+        for repr_name, matrix in representations.items():
+            start = time.perf_counter()
+            for _ in range(5):
+                matrix.matvec(v)
+            elapsed = (time.perf_counter() - start) / 5
+            rows.append((name, repr_name, _approx_size_bytes(matrix), elapsed))
+    return rows
+
+
+def example_73_workload(income_bins: int = 100, age_bins: int = 100, marital: int = 7):
+    """The Example 7.3 census workload as an implicit matrix."""
+    dense_part = DenseMatrix(
+        np.array([[1, 1, 1, 0, 0, 0, 0], [0, 0, 0, 1, 1, 1, 1]], dtype=np.float64)[:, :marital]
+    )
+    last_factor = VStack([Total(marital), Identity(marital), dense_part])
+    return Kronecker([Prefix(income_bins), Prefix(age_bins), last_factor])
+
+
+def example_73_rows(income_bins: int = 100):
+    w = example_73_workload(income_bins=income_bins, age_bins=income_bins)
+    n = w.shape[1]
+    rng = np.random.default_rng(1)
+    v = rng.normal(size=n)
+    start = time.perf_counter()
+    w.matvec(v)
+    implicit_time = time.perf_counter() - start
+    implicit_bytes = _approx_size_bytes(w)
+    dense_bytes_estimate = w.shape[0] * w.shape[1] * 8
+    return [
+        ("Example 7.3 workload", "implicit", implicit_bytes, implicit_time),
+        ("Example 7.3 workload", "dense (estimated bytes)", dense_bytes_estimate, None),
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the paper's 100x100x7 example and n=8192 cores")
+    args = parser.parse_args()
+    n = 8192 if args.full else 2048
+    rows = core_matrix_rows(n) + example_73_rows(income_bins=100 if args.full else 30)
+    print(f"\nTables 2/3 — matrix representations (core matrices at n={n})\n")
+    print(
+        format_table(
+            ["matrix", "representation", "bytes", "matvec time (s)"],
+            [[m, r, b, "-" if t is None else t] for m, r, b, t in rows],
+        )
+    )
+
+
+# ----------------------------------------------------------------------------
+# pytest-benchmark entry points.
+# ----------------------------------------------------------------------------
+def test_benchmark_prefix_implicit_matvec(benchmark):
+    n = 2**16
+    v = np.random.default_rng(0).normal(size=n)
+    benchmark(Prefix(n).matvec, v)
+
+
+def test_benchmark_prefix_dense_matvec(benchmark):
+    n = 2048
+    matrix = DenseMatrix(Prefix(n).dense())
+    v = np.random.default_rng(0).normal(size=n)
+    benchmark(matrix.matvec, v)
+
+
+def test_benchmark_wavelet_implicit_matvec(benchmark):
+    n = 2**16
+    v = np.random.default_rng(0).normal(size=n)
+    benchmark(HaarWavelet(n).matvec, v)
+
+
+def test_benchmark_kron_census_workload_matvec(benchmark):
+    w = example_73_workload(income_bins=50, age_bins=50)
+    v = np.random.default_rng(0).normal(size=w.shape[1])
+    benchmark(w.matvec, v)
+
+
+def test_table2_shape_reproduces():
+    """Implicit representations use orders of magnitude less memory than dense."""
+    rows = core_matrix_rows(n=1024)
+    sizes = {(name, repr_name): size for name, repr_name, size, _ in rows}
+    assert sizes[("Prefix", "implicit")] * 100 < sizes[("Prefix", "dense")]
+    assert sizes[("Wavelet", "implicit")] * 100 < sizes[("Wavelet", "dense")]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Census tabulations (Sec. 9.2): compare plans on high-dimensional census data.
+
+The U.S. Census Bureau releases tabulations such as income distributions
+broken down by demographic attributes.  This example reproduces the case
+study's comparison on the synthetic census: the Identity and PrivBayes
+baselines against the new EKTELO plans (PrivBayesLS, HB-Striped_kron,
+DAWA-Striped) on three workloads (Identity counts, all 2-way marginals, and
+income prefixes crossed with demographics).
+
+Run:  python examples/census_tabulations.py           (scaled-down domain)
+      python examples/census_tabulations.py --full    (paper's 1.4M-cell domain)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis import format_table, per_query_l2_error
+from repro.dataset import synthetic_cps
+from repro.plans import (
+    DawaStripedPlan,
+    HbStripedKronPlan,
+    IdentityPlan,
+    PrivBayesLsPlan,
+    PrivBayesPlan,
+)
+from repro.private import protect
+from repro.workload import (
+    census_prefix_income_workload,
+    identity_workload,
+    two_way_marginals_workload,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the paper-scale 5000-bin income domain")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    args = parser.parse_args()
+
+    income_bins = 5000 if args.full else 100
+    relation = synthetic_cps(num_records=49_436, income_bins=income_bins, seed=2000)
+    domain = relation.schema.domain
+    x_true = relation.vectorize()
+    print(f"Census table: {relation.schema.describe()} — {relation.domain_size:,} cells")
+
+    workloads = {
+        "Identity": identity_workload(domain),
+        "2-way marginals": two_way_marginals_workload(domain),
+        "Prefix(Income)": census_prefix_income_workload(domain, income_axis=0),
+    }
+    plans = {
+        "Identity": IdentityPlan(),
+        "PrivBayes": PrivBayesPlan(domain, seed=0),
+        "PrivBayesLS": PrivBayesLsPlan(domain, seed=0),
+        "HB-Striped_kron": HbStripedKronPlan(domain, stripe_axis=0),
+        "DAWA-Striped": DawaStripedPlan(domain, stripe_axis=0),
+    }
+
+    rows = []
+    for plan_name, plan in plans.items():
+        source = protect(relation, args.epsilon, seed=1).vectorize()
+        start = time.perf_counter()
+        result = plan.run(source, args.epsilon)
+        runtime = time.perf_counter() - start
+        errors = [
+            per_query_l2_error(workload, x_true, result.x_hat) for workload in workloads.values()
+        ]
+        rows.append([plan_name, *errors, runtime])
+        print(f"  finished {plan_name} in {runtime:.1f}s (budget spent {result.budget_spent:.2f})")
+
+    print("\nScaled per-query L2 error (lower is better):\n")
+    print(format_table(["plan", *workloads.keys(), "runtime (s)"], rows))
+    print(
+        "\nExpected shape (paper Table 5): DAWA-Striped wins all workloads; "
+        "PrivBayes trails Identity; the striped plans adapt 1-D techniques to "
+        "the high-dimensional domain."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Differentially-private Naive Bayes classification (Sec. 9.3).
+
+Builds credit-default classifiers from DP histograms under several plans and
+compares their ROC AUC against the non-private classifier and the majority
+baseline, across a range of privacy budgets — the Fig. 3 experiment in
+example form.
+
+Run:  python examples/naive_bayes_classifier.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import (
+    fit_naive_bayes_exact,
+    format_table,
+    majority_auc,
+    roc_auc,
+)
+from repro.dataset import PREDICTOR_NAMES, synthetic_credit_default
+from repro.plans import NAIVE_BAYES_PLANS
+
+LABEL = "default"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=20_000)
+    parser.add_argument("--epsilons", type=float, nargs="+", default=[0.001, 0.01, 0.1])
+    args = parser.parse_args()
+
+    relation = synthetic_credit_default(num_records=args.records, seed=2009)
+    predictors = list(PREDICTOR_NAMES)
+    print(f"Credit table: {relation.schema.describe()} — {len(relation)} records")
+
+    # Train/test split (80/20).
+    rng = np.random.default_rng(0)
+    permutation = rng.permutation(len(relation))
+    split = int(0.8 * len(relation))
+    train_idx, test_idx = permutation[:split], permutation[split:]
+    from repro.dataset import Relation
+
+    train = Relation(relation.schema, relation.records[train_idx])
+    test_records = relation.records[test_idx]
+    feature_columns = [relation.schema.index_of(p) for p in predictors]
+    test_features = test_records[:, feature_columns]
+    test_labels = test_records[:, relation.schema.index_of(LABEL)]
+
+    exact_model = fit_naive_bayes_exact(train, LABEL, predictors)
+    exact_auc = roc_auc(test_labels, exact_model.decision_scores(test_features))
+    print(f"\nNon-private (Unperturbed) AUC: {exact_auc:.3f}")
+    print(f"Majority baseline AUC:         {majority_auc():.3f}\n")
+
+    rows = []
+    for epsilon in args.epsilons:
+        for plan_name, fit in NAIVE_BAYES_PLANS.items():
+            model = fit(train, LABEL, predictors, epsilon=epsilon, seed=3)
+            auc = roc_auc(test_labels, model.decision_scores(test_features))
+            rows.append([epsilon, plan_name, auc])
+
+    print(format_table(["epsilon", "plan", "test AUC"], rows))
+    print(
+        "\nExpected shape (paper Fig. 3): WorkloadLS and SelectLS approach the "
+        "unperturbed AUC at epsilon = 0.1 and collapse towards 0.5 at epsilon = 0.001."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Print the plan-signature table (the paper's Fig. 2) from the plan registry.
+
+Every algorithm in the library is expressed as a plan over the same operator
+classes, so their signatures make structural similarities obvious — e.g. DAWA
+and AHP differ only in their partition-selection and query-selection
+operators.  This "transparency" property is one of the paper's design goals.
+
+Run:  python examples/plan_signatures.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.plans import PLAN_TABLE
+
+
+def main() -> None:
+    rows = [
+        [entry.plan_id if entry.plan_id is not None else "-", entry.name, entry.citation, entry.signature]
+        for entry in PLAN_TABLE
+    ]
+    print("\nFig. 2 — plan signatures (operator abbreviations as in the paper)\n")
+    print(format_table(["id", "plan", "citation", "signature"], rows))
+    print(
+        "\nLegend: S* = query selection, P* = partition selection, LM = Vector Laplace,\n"
+        "LS/NLS/MW = inference, TR/TP = vector transformations, I:(..) = iteration,\n"
+        "TP[..] = subplan run on every partition."
+    )
+
+
+if __name__ == "__main__":
+    main()

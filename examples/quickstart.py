@@ -1,0 +1,60 @@
+"""Quickstart: the paper's running example (Algorithm 1) — a private CDF estimate.
+
+This example walks through the full EKTELO workflow on the synthetic census
+data:
+
+1. put the table behind the protected kernel with a global privacy budget,
+2. filter to a sub-population and project onto the salary/income attribute
+   (table transformations — Private, no budget),
+3. vectorise and run the Algorithm 1 plan: AHP partition selection (half the
+   budget), reduce-by-partition, identity measurements (the other half),
+   non-negative least squares back onto the original domain,
+4. answer the Prefix workload to obtain the empirical CDF,
+5. compare against the true CDF and show how much budget was spent.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset import small_census
+from repro.plans import cdf_estimator
+from repro.private import protect
+
+
+def main() -> None:
+    # The private table: a synthetic stand-in for the CPS census file.
+    relation = small_census(num_records=20_000, seed=7)
+    print(f"Private table: {relation.schema.describe()} with {len(relation)} records")
+
+    # The analyst's target sub-population: males in their 30s (age bin 1 of 5).
+    sub_population = {"gender": 0, "age": 1}
+
+    epsilon_total = 1.0
+    source = protect(relation, epsilon_total=epsilon_total, seed=0)
+    print(f"Protected kernel initialised with epsilon_total = {epsilon_total}")
+
+    # Run the Algorithm 1 plan.
+    estimated_cdf = cdf_estimator(source, "income", epsilon=1.0, where=sub_population)
+
+    # Ground truth (only available to us because this is a demo).
+    truth = np.cumsum(relation.where(sub_population).projection_vector(["income"]))
+
+    print(f"\nBudget spent: {source.budget_consumed():.3f} (remaining {source.budget_remaining():.3f})")
+    print("\nIncome-bin CDF (selected points):")
+    print(f"{'bin':>5} {'true':>12} {'estimate':>12} {'abs error':>12}")
+    for bin_index in range(0, len(truth), max(len(truth) // 10, 1)):
+        print(
+            f"{bin_index:>5} {truth[bin_index]:>12.1f} "
+            f"{estimated_cdf[bin_index]:>12.1f} "
+            f"{abs(truth[bin_index] - estimated_cdf[bin_index]):>12.1f}"
+        )
+    max_error = np.abs(estimated_cdf - truth).max()
+    print(f"\nMaximum absolute CDF error: {max_error:.1f} records "
+          f"({100 * max_error / truth[-1]:.2f}% of the sub-population)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Error metrics, classification utilities and experiment harness helpers."""
+
+from .classify import (
+    CrossValidationResult,
+    NaiveBayesModel,
+    cross_validate_auc,
+    fit_naive_bayes_exact,
+    fit_naive_bayes_from_histograms,
+    majority_auc,
+    roc_auc,
+)
+from .error import (
+    expected_query_error,
+    expected_workload_error,
+    mean_absolute_error,
+    per_query_l2_error,
+    total_squared_error,
+)
+from .experiments import (
+    SweepResult,
+    TrialResult,
+    format_table,
+    improvement_factors,
+    run_trials,
+)
+
+__all__ = [
+    "per_query_l2_error",
+    "mean_absolute_error",
+    "total_squared_error",
+    "expected_query_error",
+    "expected_workload_error",
+    "NaiveBayesModel",
+    "fit_naive_bayes_from_histograms",
+    "fit_naive_bayes_exact",
+    "roc_auc",
+    "cross_validate_auc",
+    "CrossValidationResult",
+    "majority_auc",
+    "SweepResult",
+    "TrialResult",
+    "run_trials",
+    "format_table",
+    "improvement_factors",
+]

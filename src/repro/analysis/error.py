@@ -1,0 +1,93 @@
+"""Error metrics used in the paper's evaluation.
+
+The evaluation reports *scaled, per-query L2 error*: the L2 norm of the
+difference between true and estimated workload answers, divided by the number
+of queries and by the number of records (the "scale"), so results are
+comparable across domains and dataset sizes.  Expected-error formulas from the
+matrix-mechanism literature (used by Theorem 5.3 / Theorem 8.4) are also
+provided for analytic comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import LinearQueryMatrix, ensure_matrix
+
+
+def per_query_l2_error(
+    workload: LinearQueryMatrix,
+    true_vector: np.ndarray,
+    estimate: np.ndarray,
+    scale: float | None = None,
+) -> float:
+    """Scaled per-query L2 error of a workload estimate.
+
+    Parameters
+    ----------
+    workload:
+        The workload matrix ``W``.
+    true_vector:
+        The true data vector ``x``.
+    estimate:
+        The estimated data vector ``x̂`` (same length as ``x``).
+    scale:
+        Normalising constant; defaults to the number of records ``sum(x)``.
+    """
+    workload = ensure_matrix(workload)
+    true_vector = np.asarray(true_vector, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    difference = workload.matvec(estimate) - workload.matvec(true_vector)
+    if scale is None:
+        scale = max(float(true_vector.sum()), 1.0)
+    return float(np.linalg.norm(difference) / (workload.shape[0] * scale))
+
+
+def mean_absolute_error(
+    workload: LinearQueryMatrix, true_vector: np.ndarray, estimate: np.ndarray
+) -> float:
+    """Mean absolute error over the workload's queries (unscaled)."""
+    workload = ensure_matrix(workload)
+    difference = workload.matvec(np.asarray(estimate, dtype=np.float64)) - workload.matvec(
+        np.asarray(true_vector, dtype=np.float64)
+    )
+    return float(np.mean(np.abs(difference)))
+
+
+def total_squared_error(
+    workload: LinearQueryMatrix, true_vector: np.ndarray, estimate: np.ndarray
+) -> float:
+    """Total squared error over the workload's queries (unscaled)."""
+    workload = ensure_matrix(workload)
+    difference = workload.matvec(np.asarray(estimate, dtype=np.float64)) - workload.matvec(
+        np.asarray(true_vector, dtype=np.float64)
+    )
+    return float(difference @ difference)
+
+
+def expected_query_error(
+    query: np.ndarray, strategy: LinearQueryMatrix, epsilon: float = 1.0
+) -> float:
+    """Expected squared error of one query answered via a strategy + least squares.
+
+    Uses the matrix-mechanism formula ``2 ||A||_1^2 / eps^2 * q (A^T A)^+ q^T``
+    (Laplace noise has variance ``2 b^2``).  Dense computation — intended for
+    analytic unit tests on small domains (Theorems 5.3 and 8.4).
+    """
+    strategy = ensure_matrix(strategy)
+    A = strategy.dense()
+    gram_pinv = np.linalg.pinv(A.T @ A)
+    q = np.asarray(query, dtype=np.float64)
+    sensitivity = float(np.abs(A).sum(axis=0).max())
+    return 2.0 * sensitivity**2 / epsilon**2 * float(q @ gram_pinv @ q)
+
+
+def expected_workload_error(
+    workload: LinearQueryMatrix, strategy: LinearQueryMatrix, epsilon: float = 1.0
+) -> float:
+    """Expected total squared error of a workload answered via a strategy."""
+    workload = ensure_matrix(workload)
+    W = workload.dense()
+    return float(
+        sum(expected_query_error(W[i], strategy, epsilon) for i in range(W.shape[0]))
+    )

@@ -1,0 +1,98 @@
+"""Shared helpers for the benchmark harness (parameter sweeps, result tables).
+
+The benchmarks under ``benchmarks/`` regenerate the paper's tables and
+figures.  They all need the same plumbing: running a plan over several
+datasets/epsilons/trials, collecting errors and runtimes, and printing aligned
+tables.  Keeping that here keeps each benchmark focused on *what* it measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TrialResult:
+    """Error and runtime of one plan execution."""
+
+    error: float
+    runtime_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """Aggregated results of repeated trials for one experimental cell."""
+
+    label: str
+    errors: list[float] = field(default_factory=list)
+    runtimes: list[float] = field(default_factory=list)
+
+    def add(self, trial: TrialResult) -> None:
+        self.errors.append(trial.error)
+        self.runtimes.append(trial.runtime_seconds)
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.errors)) if self.errors else float("nan")
+
+    @property
+    def mean_runtime(self) -> float:
+        return float(np.mean(self.runtimes)) if self.runtimes else float("nan")
+
+    def error_percentiles(self) -> tuple[float, float, float]:
+        if not self.errors:
+            return (float("nan"),) * 3
+        return (
+            float(np.min(self.errors)),
+            float(np.mean(self.errors)),
+            float(np.max(self.errors)),
+        )
+
+
+def run_trials(
+    label: str,
+    run_once: Callable[[int], float],
+    trials: int = 3,
+) -> SweepResult:
+    """Run a plan ``trials`` times (seeded by trial index) and collect error/runtime."""
+    sweep = SweepResult(label)
+    for trial in range(trials):
+        start = time.perf_counter()
+        error = run_once(trial)
+        elapsed = time.perf_counter() - start
+        sweep.add(TrialResult(error=float(error), runtime_seconds=elapsed))
+    return sweep
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (the benchmarks print these)."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * widths[i] for i in range(len(headers)))
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    ]
+    return "\n".join([line, separator, *body])
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0 or (1e-3 <= abs(cell) < 1e5):
+            return f"{cell:.4g}"
+        return f"{cell:.3e}"
+    return str(cell)
+
+
+def improvement_factors(baseline: Sequence[float], variant: Sequence[float]) -> np.ndarray:
+    """Per-dataset improvement factors baseline/variant (>1 means the variant wins)."""
+    baseline = np.asarray(baseline, dtype=np.float64)
+    variant = np.asarray(variant, dtype=np.float64)
+    return baseline / np.maximum(variant, 1e-15)

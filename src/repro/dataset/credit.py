@@ -1,0 +1,91 @@
+"""Synthetic Credit-Default data for the Naive Bayes case study (Sec. 9.3).
+
+The paper uses the UCI "default of credit card clients" dataset: 30,000
+records, a binary ``default`` label and 23 predictors, of which the case study
+uses X3-X6 (education, marital status, age and the first repayment-status
+attribute) for a combined predictor domain of 7 * 4 * 56 * 11 = 17,248 cells.
+
+We generate a seeded synthetic stand-in with the same shape: a binary label
+whose log-odds depend on the predictors through a sparse linear model, so a
+Naive Bayes classifier trained on exact histograms attains an AUC well above
+0.5 and the DP experiments can reproduce the qualitative ordering of Fig. 3
+(Unperturbed > WorkloadLS / SelectLS > Identity > Majority, converging to 0.5
+as epsilon shrinks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .relation import Relation
+from .schema import Attribute, Schema
+
+#: Predictor domains matching the paper's experiment (X3-X6): education has 7
+#: codes, marital status 4, age 56 values (21..76), repayment status 11
+#: values (-2..8 shifted to 0..10).  Product = 17,248 cells.
+PREDICTOR_DOMAIN = (7, 4, 56, 11)
+PREDICTOR_NAMES = ("education", "marriage", "age", "pay_0")
+LABEL_NAME = "default"
+
+
+def credit_schema() -> Schema:
+    """Schema of the synthetic credit-default relation (label + 4 predictors)."""
+    return Schema.build(
+        [
+            Attribute(LABEL_NAME, 2, labels=("no-default", "default")),
+            Attribute("education", PREDICTOR_DOMAIN[0]),
+            Attribute("marriage", PREDICTOR_DOMAIN[1]),
+            Attribute("age", PREDICTOR_DOMAIN[2], lo=21.0, hi=77.0),
+            Attribute("pay_0", PREDICTOR_DOMAIN[3]),
+        ],
+        name="CreditDefault",
+    )
+
+
+def synthetic_credit_default(num_records: int = 30_000, seed: int = 2009) -> Relation:
+    """Generate the synthetic credit-default relation.
+
+    The repayment-status attribute carries most of the signal (as in the real
+    data, where months of payment delay strongly predict default); age,
+    education and marital status contribute weakly.
+    """
+    rng = np.random.default_rng(seed)
+
+    education = rng.choice(
+        PREDICTOR_DOMAIN[0], p=[0.02, 0.35, 0.45, 0.15, 0.01, 0.01, 0.01], size=num_records
+    )
+    marriage = rng.choice(PREDICTOR_DOMAIN[1], p=[0.01, 0.45, 0.52, 0.02], size=num_records)
+
+    # Age in years 21..76 with a right-skewed hump in the thirties.
+    age_years = np.clip(rng.gamma(shape=6.0, scale=6.0, size=num_records) + 21.0, 21.0, 76.0)
+    age_bin = np.clip((age_years - 21.0).astype(np.int64), 0, PREDICTOR_DOMAIN[2] - 1)
+
+    # Repayment status: concentrated around "paid duly" (values 0-2 after the
+    # shift), with a tail of increasing delays.
+    pay_0 = rng.choice(
+        PREDICTOR_DOMAIN[3],
+        p=[0.10, 0.12, 0.45, 0.18, 0.07, 0.04, 0.02, 0.01, 0.005, 0.003, 0.002],
+        size=num_records,
+    )
+
+    # Default probability: logistic in the delay attribute plus weak effects.
+    logits = (
+        -1.9
+        + 0.75 * np.maximum(pay_0.astype(float) - 2.0, 0.0)
+        + 0.10 * (education == 4).astype(float)
+        - 0.05 * (marriage == 1).astype(float)
+        + 0.01 * (age_bin.astype(float) / 10.0)
+    )
+    prob_default = 1.0 / (1.0 + np.exp(-logits))
+    label = (rng.random(num_records) < prob_default).astype(np.int64)
+
+    return Relation.from_columns(
+        credit_schema(),
+        {
+            LABEL_NAME: label,
+            "education": education,
+            "marriage": marriage,
+            "age": age_bin,
+            "pay_0": pay_0,
+        },
+    )

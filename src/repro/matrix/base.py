@@ -1,0 +1,262 @@
+"""Base classes for the implicit linear-query matrix engine.
+
+EKTELO (Sec. 7) represents three kinds of objects as matrices over a data
+vector ``x`` of length ``n``:
+
+* workload matrices ``W`` (the queries the analyst ultimately wants),
+* measurement matrices ``M`` (the queries actually asked of the private data),
+* partition matrices ``P`` (linear transformations that reduce or split ``x``).
+
+For large domains these matrices cannot be materialised.  The paper identifies
+five *primitive methods* that every matrix object must support so that all
+plan-level computations (query evaluation, sensitivity, inference, reduction)
+can be carried out without materialisation:
+
+1. matrix-vector product            (``matvec``)
+2. transpose                        (``T`` / ``rmatvec``)
+3. matrix multiplication            (``__matmul__`` returning a lazy Product)
+4. element-wise absolute value      (``__abs__``)
+5. element-wise square              (``square``)
+
+This module defines :class:`LinearQueryMatrix`, the abstract base class of all
+matrix objects in the reproduction, plus the lazy :class:`TransposeMatrix`
+view.  Concrete core matrices live in :mod:`repro.matrix.core`, combinators in
+:mod:`repro.matrix.combinators`, and explicit dense/sparse wrappers in
+:mod:`repro.matrix.dense`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+from scipy import sparse as sp
+from scipy.sparse.linalg import LinearOperator
+
+
+class LinearQueryMatrix:
+    """A real matrix defined implicitly by its action on vectors.
+
+    Subclasses must set :attr:`shape` (an ``(m, n)`` tuple) and implement
+    :meth:`matvec` and :meth:`rmatvec`.  Everything else — sensitivity, query
+    evaluation, Gram matrices, row extraction, materialisation — is derived
+    from those primitives, mirroring Table 1 of the paper.
+    """
+
+    #: (rows, columns) of the represented matrix.
+    shape: tuple[int, int]
+
+    #: Opt out of numpy's ufunc dispatch so expressions such as
+    #: ``ndarray @ matrix`` fall back to :meth:`__rmatmul__` instead of numpy
+    #: trying (and failing) to coerce the implicit matrix into an array.
+    __array_ufunc__ = None
+
+    # ------------------------------------------------------------------
+    # Primitive methods (subclasses override matvec/rmatvec at minimum).
+    # ------------------------------------------------------------------
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Return ``A @ v`` for a vector ``v`` of length ``self.shape[1]``."""
+        raise NotImplementedError
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        """Return ``A.T @ v`` for a vector ``v`` of length ``self.shape[0]``."""
+        raise NotImplementedError
+
+    @property
+    def T(self) -> "LinearQueryMatrix":
+        """Lazy transpose view (primitive method 2)."""
+        return TransposeMatrix(self)
+
+    def __matmul__(self, other):
+        """Matrix product.
+
+        ``A @ v`` with a 1-D array delegates to :meth:`matvec`; ``A @ B`` with
+        another :class:`LinearQueryMatrix` returns a lazy product (primitive
+        method 3).  2-D ndarrays are multiplied column-by-column.
+        """
+        from .combinators import Product
+        from .dense import DenseMatrix
+
+        if isinstance(other, LinearQueryMatrix):
+            return Product(self, other)
+        other = np.asarray(other)
+        if other.ndim == 1:
+            return self.matvec(other)
+        if other.ndim == 2:
+            return self.matmat(other)
+        raise TypeError(f"cannot multiply LinearQueryMatrix by {type(other)!r}")
+
+    def __rmatmul__(self, other):
+        other = np.asarray(other)
+        if other.ndim == 1:
+            return self.rmatvec(other)
+        if other.ndim == 2:
+            # (B @ A) = (A.T @ B.T).T
+            return self.T.matmat(other.T).T
+        raise TypeError(f"cannot multiply {type(other)!r} by LinearQueryMatrix")
+
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        """Return the dense product ``A @ B`` for a 2-D ndarray ``B``."""
+        B = np.asarray(B)
+        out = np.empty((self.shape[0], B.shape[1]))
+        for j in range(B.shape[1]):
+            out[:, j] = self.matvec(B[:, j])
+        return out
+
+    def __abs__(self) -> "LinearQueryMatrix":
+        """Element-wise absolute value (primitive method 4).
+
+        The generic fallback materialises; core matrices with non-negative
+        entries override this as a no-op.
+        """
+        from .dense import SparseMatrix
+
+        return SparseMatrix(abs(self.sparse()))
+
+    def square(self) -> "LinearQueryMatrix":
+        """Element-wise square (primitive method 5)."""
+        from .dense import SparseMatrix
+
+        mat = self.sparse()
+        return SparseMatrix(mat.multiply(mat))
+
+    # ------------------------------------------------------------------
+    # Derived plan-level computations (Table 1).
+    # ------------------------------------------------------------------
+    def sensitivity(self) -> float:
+        """L1 sensitivity: the maximum absolute column sum, ``||A||_1``.
+
+        Computed as ``max(abs(A).T @ 1)`` using only primitive methods, so it
+        works for implicit matrices without materialisation.
+        """
+        ones = np.ones(self.shape[0])
+        return float(np.max(abs(self).rmatvec(ones)))
+
+    def sensitivity_l2(self) -> float:
+        """L2 sensitivity: the maximum column L2 norm, ``||A||_2``."""
+        ones = np.ones(self.shape[0])
+        return float(np.sqrt(np.max(self.square().rmatvec(ones))))
+
+    def gram(self) -> "LinearQueryMatrix":
+        """The Gram matrix ``A.T @ A`` as a lazy product."""
+        from .combinators import Product
+
+        return Product(self.T, self)
+
+    def row(self, i: int) -> np.ndarray:
+        """Materialise row ``i`` as a dense vector (``A.T @ e_i``)."""
+        e = np.zeros(self.shape[0])
+        e[i] = 1.0
+        return self.rmatvec(e)
+
+    def diag_gram(self) -> np.ndarray:
+        """Column norms squared, i.e. ``diag(A.T A)``, via the square primitive."""
+        return self.square().rmatvec(np.ones(self.shape[0]))
+
+    # ------------------------------------------------------------------
+    # Materialisation and interoperability.
+    # ------------------------------------------------------------------
+    def dense(self) -> np.ndarray:
+        """Materialise to a dense ndarray (column-by-column matvec)."""
+        return self.matmat(np.eye(self.shape[1]))
+
+    def sparse(self) -> sp.csr_matrix:
+        """Materialise to a scipy CSR matrix."""
+        return sp.csr_matrix(self.dense())
+
+    def as_linear_operator(self) -> LinearOperator:
+        """Bridge to :class:`scipy.sparse.linalg.LinearOperator`.
+
+        Used by the iterative inference operators (LSMR, L-BFGS-B gradients).
+        """
+        return LinearOperator(
+            shape=self.shape,
+            matvec=self.matvec,
+            rmatvec=self.rmatvec,
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience.
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        """Number of rows (queries) in the matrix."""
+        return self.shape[0]
+
+    @property
+    def domain_size(self) -> int:
+        """Number of columns (cells of the data vector)."""
+        return self.shape[1]
+
+    def __mul__(self, scalar):
+        from .combinators import Weighted
+
+        if np.isscalar(scalar):
+            return Weighted(self, float(scalar))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shape={self.shape})"
+
+
+class TransposeMatrix(LinearQueryMatrix):
+    """Lazy transpose view of another :class:`LinearQueryMatrix`."""
+
+    def __init__(self, base: LinearQueryMatrix):
+        self.base = base
+        self.shape = (base.shape[1], base.shape[0])
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.base.rmatvec(v)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return self.base.matvec(v)
+
+    @property
+    def T(self) -> LinearQueryMatrix:
+        return self.base
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return TransposeMatrix(abs(self.base))
+
+    def square(self) -> LinearQueryMatrix:
+        return TransposeMatrix(self.base.square())
+
+    def dense(self) -> np.ndarray:
+        return self.base.dense().T
+
+    def sparse(self) -> sp.csr_matrix:
+        return sp.csr_matrix(self.base.sparse().T)
+
+
+def ensure_matrix(obj) -> LinearQueryMatrix:
+    """Coerce ndarrays / scipy sparse matrices into :class:`LinearQueryMatrix`."""
+    from .dense import DenseMatrix, SparseMatrix
+
+    if isinstance(obj, LinearQueryMatrix):
+        return obj
+    if sp.issparse(obj):
+        return SparseMatrix(obj)
+    arr = np.asarray(obj, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("expected a 2-D array-like to build a matrix")
+    return DenseMatrix(arr)
+
+
+def stack_all(matrices: Iterable[LinearQueryMatrix]) -> LinearQueryMatrix:
+    """Union (vertical stack) of an iterable of matrices.
+
+    Mirrors the paper's n-ary ``Union(A, B, C)`` shorthand for nested binary
+    unions; implemented directly as an n-ary :class:`~repro.matrix.combinators.VStack`.
+    """
+    from .combinators import VStack
+
+    mats = [ensure_matrix(m) for m in matrices]
+    if not mats:
+        raise ValueError("cannot stack an empty collection of matrices")
+    if len(mats) == 1:
+        return mats[0]
+    return VStack(mats)

@@ -1,0 +1,321 @@
+"""Combinators for building composite implicit matrices (Sec. 7.4).
+
+The EKTELO generalized matrix grammar composes core, sparse, and dense
+matrices with three operations:
+
+* ``Union``  — vertical stacking of query sets (here :class:`VStack`),
+* ``Product`` — lazy matrix multiplication,
+* ``Kronecker`` — Kronecker products for multi-dimensional domains.
+
+A scalar :class:`Weighted` wrapper is added so measurement matrices can carry
+per-query noise weights without materialisation, and :class:`HStack` is
+provided because partition expansion occasionally needs it.
+
+Space and time complexity mirrors Table 3 of the paper: a composed matrix
+stores only its sub-matrices, and its matvec cost is the sum (stack, product)
+or the ``n_B * T(A) + m_A * T(B)`` mixture (Kronecker) of the children's
+costs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse as sp
+
+from .base import LinearQueryMatrix, ensure_matrix
+
+
+class VStack(LinearQueryMatrix):
+    """Union of query sets: vertical stack ``[A; B; ...]``.
+
+    All sub-matrices must share a column count (the data-vector size).
+    """
+
+    def __init__(self, matrices: Sequence[LinearQueryMatrix]):
+        self.matrices = [ensure_matrix(m) for m in matrices]
+        if not self.matrices:
+            raise ValueError("VStack requires at least one matrix")
+        n = self.matrices[0].shape[1]
+        for m in self.matrices:
+            if m.shape[1] != n:
+                raise ValueError("all stacked matrices must have the same column count")
+        rows = sum(m.shape[0] for m in self.matrices)
+        self.shape = (rows, n)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return np.concatenate([m.matvec(v) for m in self.matrices])
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        out = np.zeros(self.shape[1])
+        offset = 0
+        for m in self.matrices:
+            rows = m.shape[0]
+            out += m.rmatvec(v[offset : offset + rows])
+            offset += rows
+        return out
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return VStack([abs(m) for m in self.matrices])
+
+    def square(self) -> LinearQueryMatrix:
+        return VStack([m.square() for m in self.matrices])
+
+    def dense(self) -> np.ndarray:
+        return np.vstack([m.dense() for m in self.matrices])
+
+    def sparse(self) -> sp.csr_matrix:
+        return sp.vstack([m.sparse() for m in self.matrices], format="csr")
+
+    def row(self, i: int) -> np.ndarray:
+        offset = 0
+        for m in self.matrices:
+            if i < offset + m.shape[0]:
+                return m.row(i - offset)
+            offset += m.shape[0]
+        raise IndexError("row index out of range")
+
+    def split_answers(self, y: np.ndarray) -> list[np.ndarray]:
+        """Split a stacked answer vector back into per-sub-matrix pieces."""
+        pieces = []
+        offset = 0
+        for m in self.matrices:
+            pieces.append(np.asarray(y[offset : offset + m.shape[0]]))
+            offset += m.shape[0]
+        return pieces
+
+
+class HStack(LinearQueryMatrix):
+    """Horizontal stack ``[A, B, ...]`` — used for split/expand constructions."""
+
+    def __init__(self, matrices: Sequence[LinearQueryMatrix]):
+        self.matrices = [ensure_matrix(m) for m in matrices]
+        if not self.matrices:
+            raise ValueError("HStack requires at least one matrix")
+        m_rows = self.matrices[0].shape[0]
+        for m in self.matrices:
+            if m.shape[0] != m_rows:
+                raise ValueError("all stacked matrices must have the same row count")
+        cols = sum(m.shape[1] for m in self.matrices)
+        self.shape = (m_rows, cols)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        out = np.zeros(self.shape[0])
+        offset = 0
+        for m in self.matrices:
+            cols = m.shape[1]
+            out += m.matvec(v[offset : offset + cols])
+            offset += cols
+        return out
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return np.concatenate([m.rmatvec(v) for m in self.matrices])
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return HStack([abs(m) for m in self.matrices])
+
+    def square(self) -> LinearQueryMatrix:
+        return HStack([m.square() for m in self.matrices])
+
+    def dense(self) -> np.ndarray:
+        return np.hstack([m.dense() for m in self.matrices])
+
+    def sparse(self) -> sp.csr_matrix:
+        return sp.hstack([m.sparse() for m in self.matrices], format="csr")
+
+
+class Product(LinearQueryMatrix):
+    """Lazy matrix product ``A @ B``."""
+
+    def __init__(self, left: LinearQueryMatrix, right: LinearQueryMatrix):
+        self.left = ensure_matrix(left)
+        self.right = ensure_matrix(right)
+        if self.left.shape[1] != self.right.shape[0]:
+            raise ValueError(
+                f"incompatible shapes for product: {self.left.shape} @ {self.right.shape}"
+            )
+        self.shape = (self.left.shape[0], self.right.shape[1])
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.left.matvec(self.right.matvec(v))
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return self.right.rmatvec(self.left.rmatvec(v))
+
+    @property
+    def T(self) -> LinearQueryMatrix:
+        return Product(self.right.T, self.left.T)
+
+    def __abs__(self) -> LinearQueryMatrix:
+        # |AB| != |A||B| in general; if both factors are entrywise non-negative
+        # the product already equals its absolute value.  For binary-valued
+        # products (e.g. range queries = Sparse x Prefix) callers rely on
+        # is_nonnegative(); otherwise fall back to materialisation.
+        if _is_nonnegative(self.left) and _is_nonnegative(self.right):
+            return self
+        return super().__abs__()
+
+    def square(self) -> LinearQueryMatrix:
+        if _is_binary(self):
+            return self
+        return super().square()
+
+    def dense(self) -> np.ndarray:
+        return self.left.dense() @ self.right.dense()
+
+    def sparse(self) -> sp.csr_matrix:
+        return (self.left.sparse() @ self.right.sparse()).tocsr()
+
+
+class Weighted(LinearQueryMatrix):
+    """Scalar multiple ``c * A`` of a matrix (used for noise weighting)."""
+
+    def __init__(self, base: LinearQueryMatrix, weight: float):
+        self.base = ensure_matrix(base)
+        self.weight = float(weight)
+        self.shape = self.base.shape
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.weight * self.base.matvec(v)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return self.weight * self.base.rmatvec(v)
+
+    @property
+    def T(self) -> LinearQueryMatrix:
+        return Weighted(self.base.T, self.weight)
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return Weighted(abs(self.base), abs(self.weight))
+
+    def square(self) -> LinearQueryMatrix:
+        return Weighted(self.base.square(), self.weight**2)
+
+    def dense(self) -> np.ndarray:
+        return self.weight * self.base.dense()
+
+    def sparse(self) -> sp.csr_matrix:
+        return (self.weight * self.base.sparse()).tocsr()
+
+    def row(self, i: int) -> np.ndarray:
+        return self.weight * self.base.row(i)
+
+
+class Kronecker(LinearQueryMatrix):
+    """Kronecker product ``A_1 (x) A_2 (x) ... (x) A_d``.
+
+    For multi-dimensional domains the data vector is the flattening (row-major)
+    of a ``d``-dimensional histogram; the Kronecker product of per-attribute
+    query matrices encodes conjunctive combinations of the per-attribute
+    queries (Definition 7.2).
+    """
+
+    def __init__(self, factors: Sequence[LinearQueryMatrix]):
+        self.factors = [ensure_matrix(f) for f in factors]
+        if not self.factors:
+            raise ValueError("Kronecker requires at least one factor")
+        rows = 1
+        cols = 1
+        for f in self.factors:
+            rows *= f.shape[0]
+            cols *= f.shape[1]
+        self.shape = (rows, cols)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        in_shape = tuple(f.shape[1] for f in self.factors)
+        tensor = v.reshape(in_shape)
+        # Apply factor i along axis i: move axis to front, flatten the rest,
+        # multiply, and move back.  This is the standard multi-linear product.
+        for axis, factor in enumerate(self.factors):
+            tensor = np.moveaxis(tensor, axis, 0)
+            lead = tensor.shape[0]
+            rest = tensor.shape[1:]
+            flat = tensor.reshape(lead, -1)
+            flat = factor.matmat(flat)
+            tensor = flat.reshape((factor.shape[0],) + rest)
+            tensor = np.moveaxis(tensor, 0, axis)
+        return tensor.ravel()
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        in_shape = tuple(f.shape[0] for f in self.factors)
+        tensor = v.reshape(in_shape)
+        for axis, factor in enumerate(self.factors):
+            tensor = np.moveaxis(tensor, axis, 0)
+            lead = tensor.shape[0]
+            rest = tensor.shape[1:]
+            flat = tensor.reshape(lead, -1)
+            flat = factor.T.matmat(flat)
+            tensor = flat.reshape((factor.shape[1],) + rest)
+            tensor = np.moveaxis(tensor, 0, axis)
+        return tensor.ravel()
+
+    @property
+    def T(self) -> LinearQueryMatrix:
+        return Kronecker([f.T for f in self.factors])
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return Kronecker([abs(f) for f in self.factors])
+
+    def square(self) -> LinearQueryMatrix:
+        return Kronecker([f.square() for f in self.factors])
+
+    def sensitivity(self) -> float:
+        # ||A (x) B||_1 = ||A||_1 * ||B||_1 (max abs column sums multiply).
+        result = 1.0
+        for f in self.factors:
+            result *= f.sensitivity()
+        return result
+
+    def sensitivity_l2(self) -> float:
+        result = 1.0
+        for f in self.factors:
+            result *= f.sensitivity_l2()
+        return result
+
+    def dense(self) -> np.ndarray:
+        out = self.factors[0].dense()
+        for f in self.factors[1:]:
+            out = np.kron(out, f.dense())
+        return out
+
+    def sparse(self) -> sp.csr_matrix:
+        out = self.factors[0].sparse()
+        for f in self.factors[1:]:
+            out = sp.kron(out, f.sparse(), format="csr")
+        return out.tocsr()
+
+
+def _is_nonnegative(matrix: LinearQueryMatrix) -> bool:
+    """Best-effort structural check that a matrix has no negative entries."""
+    from .core import Identity, Ones, Prefix, Suffix
+
+    if isinstance(matrix, (Identity, Ones, Prefix, Suffix)):
+        return True
+    if isinstance(matrix, Weighted):
+        return matrix.weight >= 0 and _is_nonnegative(matrix.base)
+    if isinstance(matrix, (VStack, HStack)):
+        return all(_is_nonnegative(m) for m in matrix.matrices)
+    if isinstance(matrix, Kronecker):
+        return all(_is_nonnegative(f) for f in matrix.factors)
+    if isinstance(matrix, Product):
+        return _is_nonnegative(matrix.left) and _is_nonnegative(matrix.right)
+    if hasattr(matrix, "matrix"):
+        return bool((matrix.matrix >= 0).sum() == np.prod(matrix.shape))
+    if hasattr(matrix, "array"):
+        return bool(np.all(matrix.array >= 0))
+    return False
+
+
+def _is_binary(matrix: LinearQueryMatrix) -> bool:
+    """Structural check used to make abs/square no-ops on 0/1-valued products.
+
+    A product such as ``Sparse({-1, 0, 1}) @ Prefix`` that encodes range
+    queries has only 0/1 entries even though its factors do not, so the
+    range-query classes set ``_binary_valued`` explicitly.
+    """
+    return bool(getattr(matrix, "_binary_valued", False))

@@ -1,0 +1,97 @@
+"""Explicit (materialised) matrix wrappers.
+
+These adapt numpy dense arrays and scipy sparse matrices to the
+:class:`~repro.matrix.base.LinearQueryMatrix` interface so explicit and
+implicit matrices can be combined freely inside plans, and so the benchmarks
+can switch representations (dense / sparse / implicit) for the scalability
+experiments of Sec. 10.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from .base import LinearQueryMatrix
+
+
+class DenseMatrix(LinearQueryMatrix):
+    """A :class:`LinearQueryMatrix` backed by a dense ndarray."""
+
+    def __init__(self, array: np.ndarray):
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError("DenseMatrix requires a 2-D array")
+        self.array = array
+        self.shape = array.shape
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.array @ np.asarray(v, dtype=np.float64)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return self.array.T @ np.asarray(v, dtype=np.float64)
+
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.array @ np.asarray(B, dtype=np.float64)
+
+    @property
+    def T(self) -> LinearQueryMatrix:
+        return DenseMatrix(self.array.T)
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return DenseMatrix(np.abs(self.array))
+
+    def square(self) -> LinearQueryMatrix:
+        return DenseMatrix(self.array**2)
+
+    def dense(self) -> np.ndarray:
+        return self.array
+
+    def sparse(self) -> sp.csr_matrix:
+        return sp.csr_matrix(self.array)
+
+    def row(self, i: int) -> np.ndarray:
+        return self.array[i].copy()
+
+
+class SparseMatrix(LinearQueryMatrix):
+    """A :class:`LinearQueryMatrix` backed by a scipy sparse matrix (CSR)."""
+
+    def __init__(self, matrix):
+        if not sp.issparse(matrix):
+            matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+        self.matrix = matrix.tocsr().astype(np.float64)
+        self.shape = self.matrix.shape
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return np.asarray(self.matrix @ np.asarray(v, dtype=np.float64)).ravel()
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        return np.asarray(self.matrix.T @ np.asarray(v, dtype=np.float64)).ravel()
+
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        return np.asarray(self.matrix @ np.asarray(B, dtype=np.float64))
+
+    @property
+    def T(self) -> LinearQueryMatrix:
+        return SparseMatrix(self.matrix.T.tocsr())
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return SparseMatrix(abs(self.matrix))
+
+    def square(self) -> LinearQueryMatrix:
+        return SparseMatrix(self.matrix.multiply(self.matrix))
+
+    def dense(self) -> np.ndarray:
+        return self.matrix.toarray()
+
+    def sparse(self) -> sp.csr_matrix:
+        return self.matrix
+
+    def row(self, i: int) -> np.ndarray:
+        return np.asarray(self.matrix.getrow(i).todense()).ravel()
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+        return int(self.matrix.nnz)

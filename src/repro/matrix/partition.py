@@ -1,0 +1,172 @@
+"""Partition matrices and lossless workload/data reduction (Secs. 5.4 and 8).
+
+A partition of the data vector's ``n`` cells into ``p`` groups is represented
+by a ``p x n`` binary matrix ``P`` with exactly one 1 per column.  The
+protected kernel applies ``P`` with ``V-ReduceByPartition`` (``x' = P x``) and
+the client transforms workloads with the pseudo-inverse (``W' = W P+``).
+
+Proposition 8.3 of the paper shows ``P+ = P.T D^{-1}`` where ``D`` is the
+diagonal matrix of group sizes, and that the reduction is lossless when the
+partition groups columns that the workload does not distinguish.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from .base import LinearQueryMatrix, ensure_matrix
+from .combinators import Product
+
+
+class ReductionMatrix(LinearQueryMatrix):
+    """A ``p x n`` partition matrix built from a group-assignment vector.
+
+    Parameters
+    ----------
+    groups:
+        Integer array of length ``n``; ``groups[j]`` is the group index of
+        cell ``j``.  Group labels need not be contiguous; they are relabelled
+        to ``0..p-1`` preserving order of first appearance.
+    """
+
+    _binary_valued = True
+
+    def __init__(self, groups: np.ndarray):
+        groups = np.asarray(groups)
+        if groups.ndim != 1:
+            raise ValueError("group assignment must be a 1-D array")
+        if groups.size == 0:
+            raise ValueError("group assignment must be non-empty")
+        # Relabel to dense 0..p-1 ids preserving order of first appearance.
+        _, first_index, inverse = np.unique(groups, return_index=True, return_inverse=True)
+        order = np.argsort(first_index)
+        rank = np.empty_like(order)
+        rank[order] = np.arange(len(order))
+        self.groups = rank[inverse]
+        self.num_groups = int(self.groups.max()) + 1
+        self.n = int(groups.size)
+        self.shape = (self.num_groups, self.n)
+        self.group_sizes = np.bincount(self.groups, minlength=self.num_groups).astype(np.float64)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        return np.bincount(self.groups, weights=v, minlength=self.num_groups)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        return v[self.groups]
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return self
+
+    def square(self) -> LinearQueryMatrix:
+        return self
+
+    def sensitivity(self) -> float:
+        # Exactly one 1 per column, so the reduction is a 1-stable transform.
+        return 1.0
+
+    def dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        out[self.groups, np.arange(self.n)] = 1.0
+        return out
+
+    def sparse(self) -> sp.csr_matrix:
+        data = np.ones(self.n)
+        return sp.csr_matrix((data, (self.groups, np.arange(self.n))), shape=self.shape)
+
+    # ------------------------------------------------------------------
+    # Reduction / expansion helpers (Prop. 8.3).
+    # ------------------------------------------------------------------
+    def pseudo_inverse(self) -> "ExpansionMatrix":
+        """The Moore-Penrose pseudo-inverse ``P+ = P.T D^{-1}`` (n x p)."""
+        return ExpansionMatrix(self)
+
+    def reduce_vector(self, x: np.ndarray) -> np.ndarray:
+        """Apply the partition to a data vector: ``x' = P x``."""
+        return self.matvec(x)
+
+    def expand_vector(self, x_reduced: np.ndarray) -> np.ndarray:
+        """Spread reduced counts uniformly back over each group: ``x = P+ x'``."""
+        x_reduced = np.asarray(x_reduced, dtype=np.float64)
+        return (x_reduced / self.group_sizes)[self.groups]
+
+    def reduce_workload(self, workload) -> LinearQueryMatrix:
+        """Transform a workload onto the reduced domain: ``W' = W P+``."""
+        return Product(ensure_matrix(workload), self.pseudo_inverse())
+
+    def expand_workload(self, reduced_workload) -> LinearQueryMatrix:
+        """Express a reduced-domain workload on the original domain: ``W = W' P``."""
+        return Product(ensure_matrix(reduced_workload), self)
+
+    def split_indices(self) -> list[np.ndarray]:
+        """Cell indices of each group (used by V-SplitByPartition)."""
+        order = np.argsort(self.groups, kind="stable")
+        boundaries = np.searchsorted(self.groups[order], np.arange(self.num_groups + 1))
+        return [order[boundaries[g] : boundaries[g + 1]] for g in range(self.num_groups)]
+
+    @classmethod
+    def identity(cls, n: int) -> "ReductionMatrix":
+        """The trivial partition with one group per cell (no reduction)."""
+        return cls(np.arange(n))
+
+    @classmethod
+    def single_group(cls, n: int) -> "ReductionMatrix":
+        """The coarsest partition grouping every cell together."""
+        return cls(np.zeros(n, dtype=int))
+
+    @classmethod
+    def from_group_list(cls, n: int, groups: list[np.ndarray]) -> "ReductionMatrix":
+        """Build a partition from an explicit list of index arrays."""
+        assignment = np.full(n, -1, dtype=int)
+        for g, idx in enumerate(groups):
+            idx = np.asarray(idx, dtype=int)
+            if np.any(assignment[idx] != -1):
+                raise ValueError("groups overlap")
+            assignment[idx] = g
+        if np.any(assignment == -1):
+            raise ValueError("groups do not cover every cell")
+        return cls(assignment)
+
+
+class ExpansionMatrix(LinearQueryMatrix):
+    """The ``n x p`` pseudo-inverse of a :class:`ReductionMatrix`."""
+
+    def __init__(self, reduction: ReductionMatrix):
+        self.reduction = reduction
+        self.shape = (reduction.n, reduction.num_groups)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.reduction.expand_vector(v)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        sums = np.bincount(self.reduction.groups, weights=v, minlength=self.reduction.num_groups)
+        return sums / self.reduction.group_sizes
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return self
+
+    def square(self) -> LinearQueryMatrix:
+        sq = ExpansionMatrix(self.reduction)
+        # Element-wise squares divide by the group size twice.
+        original = self.reduction.group_sizes
+
+        def matvec(v, sizes=original, groups=self.reduction.groups):
+            v = np.asarray(v, dtype=np.float64)
+            return (v / sizes**2)[groups]
+
+        def rmatvec(v, sizes=original, groups=self.reduction.groups, p=self.reduction.num_groups):
+            v = np.asarray(v, dtype=np.float64)
+            return np.bincount(groups, weights=v, minlength=p) / sizes**2
+
+        sq.matvec = matvec  # type: ignore[method-assign]
+        sq.rmatvec = rmatvec  # type: ignore[method-assign]
+        return sq
+
+    def dense(self) -> np.ndarray:
+        return self.reduction.dense().T / self.reduction.group_sizes[np.newaxis, :]
+
+    def sparse(self) -> sp.csr_matrix:
+        return sp.csr_matrix(self.dense())

@@ -1,0 +1,25 @@
+"""Operator library: transformations, measurements, selection, partition, inference."""
+
+from . import inference, partition, selection
+from .measurement import laplace_noise_scale, noisy_count, vector_laplace
+from .transformation import (
+    select,
+    t_vectorize,
+    v_reduce_by_partition,
+    v_split_by_partition,
+    where,
+)
+
+__all__ = [
+    "inference",
+    "partition",
+    "selection",
+    "vector_laplace",
+    "noisy_count",
+    "laplace_noise_scale",
+    "t_vectorize",
+    "v_reduce_by_partition",
+    "v_split_by_partition",
+    "where",
+    "select",
+]

@@ -1,0 +1,20 @@
+"""Inference operators: estimate the data vector from noisy measurements."""
+
+from .least_squares import InferenceResult, least_squares, least_squares_from_parts
+from .mult_weights import multiplicative_weights, mwem_update
+from .nnls import nnls, nnls_with_total
+from .thresholding import threshold
+from .tree_based import hierarchical_measurements, tree_based_least_squares
+
+__all__ = [
+    "InferenceResult",
+    "least_squares",
+    "least_squares_from_parts",
+    "nnls",
+    "nnls_with_total",
+    "multiplicative_weights",
+    "mwem_update",
+    "threshold",
+    "tree_based_least_squares",
+    "hierarchical_measurements",
+]

@@ -1,0 +1,135 @@
+"""Least-squares inference operators (Sec. 5.5 and 7.6).
+
+Given a measurement matrix ``M`` (possibly implicit) and noisy answers ``y``,
+ordinary least squares finds ``x̂ = argmin_x ||M x - y||_2``.  Optional
+per-query weights account for measurements taken with different noise scales
+(rows are scaled by ``w_i`` before solving, which is equivalent to weighted
+least squares with weights ``w_i^2``).
+
+Two solution strategies are provided:
+
+* ``method="direct"`` — solve the normal equations with a dense factorisation;
+  cubic in the domain size, only viable for small domains (used as the
+  baseline in the Fig. 5 scalability experiment).
+* ``method="lsmr"`` (default) — scipy's iterative LSMR solver driven purely by
+  matvec/rmatvec, so it runs on implicit matrices without materialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.linalg import lsmr
+
+from ...matrix import LinearQueryMatrix, Weighted, ensure_matrix
+from ...matrix.combinators import VStack
+
+
+@dataclass
+class InferenceResult:
+    """Estimated data vector plus solver diagnostics."""
+
+    x_hat: np.ndarray
+    iterations: int
+    residual_norm: float
+
+
+def _apply_weights(
+    queries: LinearQueryMatrix, answers: np.ndarray, weights: np.ndarray | None
+) -> tuple[LinearQueryMatrix, np.ndarray]:
+    """Scale rows and answers by per-query weights (no-op if weights is None)."""
+    if weights is None:
+        return queries, np.asarray(answers, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    answers = np.asarray(answers, dtype=np.float64)
+    if weights.shape != (queries.shape[0],):
+        raise ValueError("weights must have one entry per query")
+    if np.allclose(weights, weights[0]):
+        # Uniform weights do not change the minimiser.
+        return queries, answers
+    from ...matrix.dense import SparseMatrix
+    from scipy import sparse as sp
+
+    diag = SparseMatrix(sp.diags(weights))
+    from ...matrix.combinators import Product
+
+    return Product(diag, queries), weights * answers
+
+
+def least_squares(
+    queries: LinearQueryMatrix,
+    answers: np.ndarray,
+    weights: np.ndarray | None = None,
+    method: str = "lsmr",
+    max_iterations: int | None = None,
+    tolerance: float = 1e-8,
+) -> InferenceResult:
+    """Ordinary least-squares estimate of the data vector.
+
+    Parameters
+    ----------
+    queries:
+        The measurement matrix ``M`` (any :class:`LinearQueryMatrix`).
+    answers:
+        Noisy answers ``y`` with one entry per row of ``M``.
+    weights:
+        Optional per-query weights (inverse noise scales).
+    method:
+        ``"lsmr"`` (iterative, works on implicit matrices) or ``"direct"``
+        (dense normal equations).
+    """
+    queries = ensure_matrix(queries)
+    answers = np.asarray(answers, dtype=np.float64)
+    if answers.shape != (queries.shape[0],):
+        raise ValueError(
+            f"answers of shape {answers.shape} do not match {queries.shape[0]} queries"
+        )
+    queries, answers = _apply_weights(queries, answers, weights)
+
+    if method == "direct":
+        dense = queries.dense()
+        x_hat, residuals, _, _ = np.linalg.lstsq(dense, answers, rcond=None)
+        residual = float(np.linalg.norm(dense @ x_hat - answers))
+        return InferenceResult(x_hat, iterations=1, residual_norm=residual)
+    if method != "lsmr":
+        raise ValueError(f"unknown least-squares method {method!r}")
+
+    operator = queries.as_linear_operator()
+    max_iterations = max_iterations or max(2 * queries.shape[1], 100)
+    solution = lsmr(operator, answers, atol=tolerance, btol=tolerance, maxiter=max_iterations)
+    x_hat, istop, itn, normr = solution[0], solution[1], solution[2], solution[3]
+    return InferenceResult(np.asarray(x_hat), iterations=int(itn), residual_norm=float(normr))
+
+
+def least_squares_from_parts(
+    parts: list[tuple[LinearQueryMatrix, np.ndarray, float]],
+    method: str = "lsmr",
+) -> InferenceResult:
+    """Global least squares over measurements collected from different plan steps.
+
+    ``parts`` is a list of ``(M_i, y_i, noise_scale_i)`` triples, all expressed
+    over the *same* data vector (use partition expansion to map measurements on
+    reduced domains back to the original domain first).  Each part is weighted
+    by the inverse of its noise scale so noisier measurements count less.
+    """
+    if not parts:
+        raise ValueError("at least one measurement part is required")
+    matrices = []
+    answers = []
+    weights = []
+    for matrix, y, scale in parts:
+        matrix = ensure_matrix(matrix)
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (matrix.shape[0],):
+            raise ValueError("answers do not match the measurement matrix")
+        matrices.append(matrix)
+        answers.append(y)
+        weights.append(np.full(matrix.shape[0], 1.0 / max(scale, 1e-12)))
+    stacked = matrices[0] if len(matrices) == 1 else VStack(matrices)
+    return least_squares(
+        stacked,
+        np.concatenate(answers),
+        weights=np.concatenate(weights),
+        method=method,
+    )

@@ -1,0 +1,94 @@
+"""Multiplicative-weights inference (used by MWEM, Sec. 5.5).
+
+The multiplicative-weights update maintains a non-negative estimate ``x̂`` of
+the data vector with a fixed total and repeatedly reweights cells according to
+how much each measured query under- or over-estimates its noisy answer:
+
+    x̂ ← x̂ ⊙ exp( q * (y - q·x̂) / (2 * total) )        for each query q,
+
+followed by renormalisation to the total.  This is closely related to
+maximum-entropy inference and is most effective when the measured query set is
+incomplete.  Only matvec/rmatvec are needed, so implicit matrices work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...matrix import LinearQueryMatrix, ensure_matrix
+from .least_squares import InferenceResult
+
+
+def multiplicative_weights(
+    queries: LinearQueryMatrix,
+    answers: np.ndarray,
+    total: float | None = None,
+    x0: np.ndarray | None = None,
+    iterations: int = 50,
+    update_rounds: int = 1,
+) -> InferenceResult:
+    """Estimate the data vector with the multiplicative-weights update rule.
+
+    Parameters
+    ----------
+    queries:
+        Measurement matrix ``M`` (rows are assumed to have entries in [0, 1],
+        as is the case for counting queries).
+    answers:
+        Noisy answers ``y``.
+    total:
+        Total number of records.  If ``None`` it is estimated from the answers
+        (mean of any total-like rows, otherwise the max answer), matching
+        MWEM's assumption of a known total.
+    x0:
+        Starting estimate; defaults to the uniform distribution over the domain
+        scaled to ``total``.
+    iterations:
+        Number of passes over the query set.
+    update_rounds:
+        Extra inner repetitions per query within a pass.
+    """
+    queries = ensure_matrix(queries)
+    answers = np.asarray(answers, dtype=np.float64)
+    if answers.shape != (queries.shape[0],):
+        raise ValueError("answers do not match the number of queries")
+    n = queries.shape[1]
+
+    if total is None:
+        total = float(max(np.max(np.abs(answers)), 1.0))
+    total = max(float(total), 1e-9)
+
+    if x0 is None:
+        x_hat = np.full(n, total / n)
+    else:
+        x_hat = np.clip(np.asarray(x0, dtype=np.float64), 1e-12, None)
+        x_hat *= total / x_hat.sum()
+
+    num_queries = queries.shape[0]
+    for _ in range(iterations):
+        for i in range(num_queries):
+            row = queries.row(i)
+            for _ in range(update_rounds):
+                estimate = float(row @ x_hat)
+                error = answers[i] - estimate
+                # Standard MW step size from Hardt-Ligett-McSherry.
+                x_hat = x_hat * np.exp(row * error / (2.0 * total))
+                x_hat *= total / x_hat.sum()
+
+    residual = float(np.linalg.norm(queries.matvec(x_hat) - answers))
+    return InferenceResult(x_hat, iterations=iterations, residual_norm=residual)
+
+
+def mwem_update(
+    x_hat: np.ndarray,
+    query_row: np.ndarray,
+    noisy_answer: float,
+    total: float,
+) -> np.ndarray:
+    """A single multiplicative-weights update (used inside the MWEM plan loop)."""
+    x_hat = np.clip(np.asarray(x_hat, dtype=np.float64), 1e-12, None)
+    estimate = float(query_row @ x_hat)
+    error = noisy_answer - estimate
+    updated = x_hat * np.exp(query_row * error / (2.0 * max(total, 1e-9)))
+    updated *= x_hat.sum() / updated.sum()
+    return updated

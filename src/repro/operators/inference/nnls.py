@@ -1,0 +1,103 @@
+"""Non-negative least-squares inference (Definition 5.2).
+
+``x̂ = argmin_{x >= 0} ||M x - y||_2`` solved with the limited-memory BFGS
+algorithm with bound constraints (L-BFGS-B), exactly as the paper describes
+(Sec. 7.6).  The objective and gradient only need matrix-vector products with
+``M`` and ``M.T``, so implicit matrices are supported without materialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from ...matrix import LinearQueryMatrix, ensure_matrix
+from .least_squares import InferenceResult, _apply_weights
+
+
+def nnls(
+    queries: LinearQueryMatrix,
+    answers: np.ndarray,
+    weights: np.ndarray | None = None,
+    x0: np.ndarray | None = None,
+    max_iterations: int = 500,
+    tolerance: float = 1e-9,
+) -> InferenceResult:
+    """Non-negative least-squares estimate of the data vector.
+
+    Parameters
+    ----------
+    queries, answers, weights:
+        As in :func:`repro.operators.inference.least_squares.least_squares`.
+    x0:
+        Optional warm start (defaults to a uniform vector matching the scale of
+        the answers).
+    """
+    queries = ensure_matrix(queries)
+    answers = np.asarray(answers, dtype=np.float64)
+    if answers.shape != (queries.shape[0],):
+        raise ValueError("answers do not match the number of queries")
+    queries, answers = _apply_weights(queries, answers, weights)
+    n = queries.shape[1]
+
+    if x0 is None:
+        # Rough scale: distribute the (pseudo) total mass uniformly.
+        total_guess = max(float(np.mean(np.abs(answers))), 1.0)
+        x0 = np.full(n, total_guess / max(n, 1))
+    x0 = np.clip(np.asarray(x0, dtype=np.float64), 0.0, None)
+
+    def objective(x: np.ndarray):
+        residual = queries.matvec(x) - answers
+        value = 0.5 * float(residual @ residual)
+        gradient = queries.rmatvec(residual)
+        return value, gradient
+
+    iterations = {"count": 0}
+
+    def callback(_x):
+        iterations["count"] += 1
+
+    result = optimize.minimize(
+        objective,
+        x0,
+        jac=True,
+        method="L-BFGS-B",
+        bounds=[(0.0, None)] * n,
+        callback=callback,
+        options={"maxiter": max_iterations, "ftol": tolerance, "gtol": 1e-10},
+    )
+    x_hat = np.clip(result.x, 0.0, None)
+    residual = float(np.linalg.norm(queries.matvec(x_hat) - answers))
+    return InferenceResult(x_hat, iterations=max(iterations["count"], 1), residual_norm=residual)
+
+
+def nnls_with_total(
+    queries: LinearQueryMatrix,
+    answers: np.ndarray,
+    total: float,
+    total_weight: float = 10.0,
+    weights: np.ndarray | None = None,
+) -> InferenceResult:
+    """NNLS with a high-confidence estimate of the total count (Sec. 9.1).
+
+    The MWEM variants incorporate a known (or separately measured) total by
+    appending the total query as an extra row with a moderately large weight (kept small
+    enough that the weighted system stays well-conditioned for L-BFGS-B), which the
+    paper describes as adding prior information as a "noisy" answer with
+    negligible noise scale.
+    """
+    from ...matrix import Total
+    from ...matrix.combinators import VStack
+
+    queries = ensure_matrix(queries)
+    n = queries.shape[1]
+    augmented = VStack([queries, Total(n)])
+    augmented_answers = np.concatenate([np.asarray(answers, dtype=np.float64), [float(total)]])
+    if weights is None:
+        weights = np.ones(queries.shape[0])
+    augmented_weights = np.concatenate([np.asarray(weights, dtype=np.float64), [total_weight]])
+    # Start from the uniform distribution at the known total: directions the
+    # measurements say nothing about stay uniform (matching MWEM's prior)
+    # instead of drifting to an arbitrary scale.
+    x0 = np.full(n, max(float(total), 0.0) / max(n, 1))
+    return nnls(augmented, augmented_answers, weights=augmented_weights, x0=x0)

@@ -1,0 +1,32 @@
+"""Measurement (query) operators — thin functional wrappers over the kernel.
+
+EKTELO has exactly two budget-spending query operators (Sec. 5.2): Vector
+Laplace for vector sources and NoisyCount for table sources.  Both live inside
+the protected kernel; these wrappers exist so plan code reads like the paper's
+pseudocode (``vector_laplace(x, M, eps)``) while all privacy enforcement stays
+in the kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import LinearQueryMatrix, ensure_matrix
+from ..private.protected import ProtectedDataSource
+
+
+def vector_laplace(
+    source: ProtectedDataSource, queries: LinearQueryMatrix, epsilon: float
+) -> np.ndarray:
+    """Noisy answers ``M x + (||M||_1 / eps) * Lap(1)^m`` on a vector source."""
+    return source.vector_laplace(ensure_matrix(queries), epsilon)
+
+
+def noisy_count(source: ProtectedDataSource, epsilon: float) -> float:
+    """Noisy cardinality ``|D| + Lap(1/eps)`` of a table source."""
+    return source.noisy_count(epsilon)
+
+
+def laplace_noise_scale(queries: LinearQueryMatrix, epsilon: float) -> float:
+    """The noise scale Vector Laplace will use for this measurement (public)."""
+    return ensure_matrix(queries).sensitivity() / epsilon

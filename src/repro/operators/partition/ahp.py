@@ -1,0 +1,88 @@
+"""AHP partition selection (the PA operator, Plan #8).
+
+The AHP algorithm (Zhang et al. 2014) spends part of the budget on a noisy
+histogram, thresholds small counts to zero, sorts the remaining noisy counts
+and greedily clusters values that are close, producing a partition of the
+domain whose groups have approximately uniform counts.  The partition is then
+applied with V-ReduceByPartition and the group totals are re-measured.
+
+This is a Private→Public operator: it consumes budget through the kernel's
+Vector Laplace primitive; the clustering itself is post-processing of the
+noisy histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...matrix import Identity, ReductionMatrix
+from ...private.protected import ProtectedDataSource
+
+
+def cluster_sorted_counts(noisy: np.ndarray, gap_ratio: float = 0.5) -> np.ndarray:
+    """Group cells whose (sorted) noisy counts are close.
+
+    Cells are sorted by noisy count; a new group starts whenever the jump to
+    the next count exceeds ``gap_ratio`` times the running group mean (with an
+    absolute floor of 1.0 to avoid splitting pure-noise cells).  Returns the
+    per-cell group assignment in original cell order.
+    """
+    noisy = np.asarray(noisy, dtype=np.float64)
+    order = np.argsort(noisy, kind="stable")
+    assignment = np.zeros(noisy.size, dtype=int)
+    group = 0
+    group_start_value = noisy[order[0]] if noisy.size else 0.0
+    group_sum = 0.0
+    group_count = 0
+    for rank, cell in enumerate(order):
+        value = noisy[cell]
+        if group_count > 0:
+            group_mean = group_sum / group_count
+            threshold = max(gap_ratio * max(abs(group_mean), 1.0), 1.0)
+            if value - group_start_value > threshold:
+                group += 1
+                group_start_value = value
+                group_sum = 0.0
+                group_count = 0
+        assignment[cell] = group
+        group_sum += value
+        group_count += 1
+    return assignment
+
+
+def ahp_partition(
+    source: ProtectedDataSource,
+    epsilon: float,
+    eta: float = 0.35,
+    gap_ratio: float = 0.5,
+) -> ReductionMatrix:
+    """Select an AHP partition of a protected vector source.
+
+    Parameters
+    ----------
+    source:
+        Protected handle to a vector source.
+    epsilon:
+        Budget spent on the noisy histogram used to form the partition.
+    eta:
+        Thresholding constant: noisy counts below ``eta * log(n) / epsilon``
+        are treated as zero before clustering (AHP's sparsity filter).
+    gap_ratio:
+        Clustering aggressiveness (larger → coarser partitions).
+    """
+    n = source.domain_size
+    noisy = source.vector_laplace(Identity(n), epsilon)
+    cutoff = eta * np.log(max(n, 2)) / epsilon
+    filtered = np.where(noisy < cutoff, 0.0, noisy)
+    assignment = cluster_sorted_counts(filtered, gap_ratio=gap_ratio)
+    return ReductionMatrix(assignment)
+
+
+def ahp_partition_from_noisy(
+    noisy: np.ndarray, epsilon: float, eta: float = 0.35, gap_ratio: float = 0.5
+) -> ReductionMatrix:
+    """Post-processing-only variant when a noisy histogram is already available."""
+    noisy = np.asarray(noisy, dtype=np.float64)
+    cutoff = eta * np.log(max(noisy.size, 2)) / epsilon
+    filtered = np.where(noisy < cutoff, 0.0, noisy)
+    return ReductionMatrix(cluster_sorted_counts(filtered, gap_ratio=gap_ratio))

@@ -1,0 +1,188 @@
+"""Simplified PrivBayes query selection (the SPB operator, Plans #17 and PrivBayes).
+
+PrivBayes (Zhang et al. 2017) privately learns a Bayesian network over the
+attributes and then measures the sufficient statistics (low-dimensional
+marginals) needed to fit its conditional distributions.  EKTELO wraps the
+network-construction step as a Private→Public query-selection operator whose
+output is a union of marginal measurement matrices.
+
+This reproduction keeps the structure of the original:
+
+1. attributes are added to the network one at a time (seeded random order of
+   the remaining attributes is broken by the exponential mechanism),
+2. for each new attribute, a parent set of bounded size is chosen by the
+   exponential mechanism with (empirical) mutual information as the score,
+3. the returned measurement matrix is the union of the marginals over each
+   attribute together with its parents.
+
+The mutual-information score is computed on the private vector inside the
+kernel's exponential-mechanism primitive, so the budget accounting is handled
+by the kernel.  The score sensitivity uses the PrivBayes bound
+``(2/N) * log2(N) + (2/N)`` with ``N`` the (publicly provided or noisily
+estimated) dataset size.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ...matrix import LinearQueryMatrix, VStack, marginal
+from ...private.protected import ProtectedDataSource
+
+
+def _mutual_information(joint: np.ndarray) -> float:
+    """Mutual information (in bits) of a 2-D joint count table."""
+    total = joint.sum()
+    if total <= 0:
+        return 0.0
+    p_joint = joint / total
+    p_row = p_joint.sum(axis=1, keepdims=True)
+    p_col = p_joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(p_joint > 0, p_joint / (p_row @ p_col), 1.0)
+        terms = np.where(p_joint > 0, p_joint * np.log2(ratio), 0.0)
+    return float(terms.sum())
+
+
+def _marginal_table(x: np.ndarray, domain: Sequence[int], axes: Sequence[int]) -> np.ndarray:
+    """Marginal count table of the full-domain vector over the given axes."""
+    tensor = np.asarray(x, dtype=np.float64).reshape(tuple(domain))
+    drop = tuple(a for a in range(len(domain)) if a not in set(axes))
+    table = tensor.sum(axis=drop) if drop else tensor
+    # Reorder surviving axes to the order requested.
+    kept = [a for a in range(len(domain)) if a in set(axes)]
+    order = [kept.index(a) for a in axes]
+    return np.transpose(table, order)
+
+
+def mutual_information_score(
+    x: np.ndarray, domain: Sequence[int], attribute: int, parents: Sequence[int]
+) -> float:
+    """MI between ``attribute`` and the joint of ``parents`` on the vector ``x``."""
+    if not parents:
+        return 0.0
+    axes = [attribute, *parents]
+    table = _marginal_table(x, domain, axes)
+    flat = table.reshape(table.shape[0], -1)
+    return _mutual_information(flat)
+
+
+def privbayes_select(
+    source: ProtectedDataSource,
+    domain: Sequence[int],
+    epsilon: float,
+    max_parents: int = 2,
+    total_records: float | None = None,
+    seed: int = 0,
+) -> tuple[LinearQueryMatrix, list[tuple[int, tuple[int, ...]]]]:
+    """Privately construct a Bayes net and return its marginal measurement matrix.
+
+    Parameters
+    ----------
+    source:
+        Protected handle to the *vectorised* table (full-domain vector).
+    domain:
+        Per-attribute domain sizes (public metadata).
+    epsilon:
+        Budget for the network construction (split evenly across attributes).
+    max_parents:
+        Maximum parent-set size of each node.
+    total_records:
+        Public or separately estimated dataset size, used in the MI score
+        sensitivity; defaults to a conservative 1,000.
+    seed:
+        Seed of the (public) attribute ordering.
+
+    Returns
+    -------
+    (measurements, network):
+        ``measurements`` is the union of marginal matrices to pass to Vector
+        Laplace; ``network`` lists ``(attribute, parents)`` pairs.
+    """
+    num_attributes = len(domain)
+    if num_attributes == 0:
+        raise ValueError("domain must have at least one attribute")
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(num_attributes))
+    total_records = float(total_records or 1_000.0)
+    score_sensitivity = (2.0 / total_records) * (np.log2(max(total_records, 2.0)) + 1.0)
+
+    per_choice_epsilon = epsilon / max(num_attributes - 1, 1)
+    network: list[tuple[int, tuple[int, ...]]] = [(order[0], tuple())]
+    chosen: list[int] = [order[0]]
+
+    for attribute in order[1:]:
+        candidates: list[tuple[int, ...]] = []
+        for size in range(1, min(max_parents, len(chosen)) + 1):
+            candidates.extend(combinations(chosen, size))
+        if not candidates:
+            network.append((attribute, tuple()))
+            chosen.append(attribute)
+            continue
+
+        def scores(x: np.ndarray, attribute=attribute, candidates=candidates) -> np.ndarray:
+            return np.array(
+                [
+                    mutual_information_score(x, domain, attribute, parents)
+                    for parents in candidates
+                ]
+            )
+
+        index = source.exponential_mechanism(
+            scores,
+            num_candidates=len(candidates),
+            epsilon=per_choice_epsilon,
+            score_sensitivity=score_sensitivity,
+        )
+        network.append((attribute, tuple(candidates[index])))
+        chosen.append(attribute)
+
+    parts = []
+    for attribute, parents in network:
+        keep = (attribute, *parents)
+        parts.append(marginal(domain, keep))
+    measurements = parts[0] if len(parts) == 1 else VStack(parts)
+    return measurements, network
+
+
+def privbayes_synthetic_distribution(
+    network: list[tuple[int, tuple[int, ...]]],
+    marginal_estimates: dict[tuple[int, ...], np.ndarray],
+    domain: Sequence[int],
+) -> np.ndarray:
+    """Combine estimated marginals into a full-domain distribution via the Bayes net.
+
+    This reproduces PrivBayes' synthetic-data step in distribution form: the
+    joint is the product of each attribute's conditional given its parents,
+    estimated from the (noisy, non-negative, normalised) marginal tables.  The
+    result is a probability vector over the full domain; multiply by the total
+    count to compare with data vectors.
+    """
+    num_attributes = len(domain)
+    joint = np.ones(tuple(domain), dtype=np.float64)
+    for attribute, parents in network:
+        keep = (attribute, *parents)
+        # Marginal tables (as produced by `marginal(domain, keep)`) are laid out
+        # in ascending attribute order, regardless of the order of `keep`.
+        ordered_axes = sorted(keep)
+        table = np.clip(np.asarray(marginal_estimates[keep], dtype=np.float64), 0.0, None)
+        table = table.reshape(tuple(domain[a] for a in ordered_axes))
+        attribute_axis = ordered_axes.index(attribute)
+        if parents:
+            parent_totals = table.sum(axis=attribute_axis, keepdims=True)
+            conditional = np.full_like(table, 1.0 / domain[attribute])
+            np.divide(table, parent_totals, out=conditional, where=parent_totals > 0)
+        else:
+            total = table.sum()
+            conditional = table / total if total > 0 else np.full_like(table, 1.0 / table.size)
+        broadcast_shape = tuple(
+            domain[a] if a in set(keep) else 1 for a in range(num_attributes)
+        )
+        joint = joint * conditional.reshape(broadcast_shape)
+    total_mass = joint.sum()
+    if total_mass > 0:
+        joint /= total_mass
+    return joint.ravel()

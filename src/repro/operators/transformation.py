@@ -1,0 +1,48 @@
+"""Transformation operators — functional wrappers matching the paper's names.
+
+The actual transformations are implemented by :class:`~repro.dataset.relation.Relation`
+(tables) and by the protected kernel (stability tracking); these wrappers give
+plan code the operator names used in the paper's pseudocode:
+
+* ``t_vectorize``          — Algorithm 1 line 4,
+* ``v_reduce_by_partition`` — Algorithm 1 line 6,
+* ``v_split_by_partition``  — Algorithm 5 line 4.
+"""
+
+from __future__ import annotations
+
+from ..matrix import ReductionMatrix
+from ..private.protected import ProtectedDataSource
+
+
+def t_vectorize(source: ProtectedDataSource) -> ProtectedDataSource:
+    """T-Vectorize: turn a protected table into a protected data vector (1-stable)."""
+    return source.vectorize()
+
+
+def v_reduce_by_partition(
+    source: ProtectedDataSource, partition: ReductionMatrix
+) -> ProtectedDataSource:
+    """V-ReduceByPartition: ``x' = P x`` on a protected vector source (1-stable)."""
+    return source.reduce_by_partition(partition)
+
+
+def v_split_by_partition(
+    source: ProtectedDataSource, partition: ReductionMatrix
+) -> list[ProtectedDataSource]:
+    """V-SplitByPartition: split a protected vector into per-group sources.
+
+    The kernel introduces a dummy partition node so that measurements on the
+    disjoint pieces compose in parallel (Algorithm 2, partition case).
+    """
+    return source.split_by_partition(partition)
+
+
+def where(source: ProtectedDataSource, predicate) -> ProtectedDataSource:
+    """Where: filter the records of a protected table (1-stable)."""
+    return source.where(predicate)
+
+
+def select(source: ProtectedDataSource, attributes) -> ProtectedDataSource:
+    """Select: project a protected table onto a subset of attributes (1-stable)."""
+    return source.select(attributes)

@@ -1,0 +1,88 @@
+"""Plan protocol and shared helpers.
+
+A *plan* is EKTELO's unit of algorithm authorship: client-side code that
+composes operators.  All plans in this reproduction implement a common
+interface so the benchmark harness and registry can treat them uniformly:
+
+* ``run(source, epsilon, **kwargs)`` takes a protected *vector* source (the
+  output of T-Vectorize) and a privacy budget and returns a
+  :class:`PlanResult` whose ``x_hat`` estimates the data vector;
+* ``signature`` is the operator signature of Fig. 2 (for the transparency
+  experiment / plan-signature table).
+
+Plans never see raw data: every interaction goes through the
+:class:`~repro.private.protected.ProtectedDataSource` handle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..matrix import DenseMatrix, LinearQueryMatrix, SparseMatrix, ensure_matrix
+from ..private.protected import ProtectedDataSource
+
+#: The matrix representations compared in the Sec. 10.2 scalability study.
+REPRESENTATIONS = ("implicit", "sparse", "dense")
+
+
+def with_representation(matrix: LinearQueryMatrix, representation: str) -> LinearQueryMatrix:
+    """Materialise a measurement matrix in the requested representation.
+
+    ``implicit`` leaves the matrix as constructed (possibly lazy); ``sparse``
+    and ``dense`` materialise it, reproducing the representation switch of the
+    Fig. 4 experiments.
+    """
+    if representation == "implicit":
+        return matrix
+    if representation == "sparse":
+        return SparseMatrix(matrix.sparse())
+    if representation == "dense":
+        return DenseMatrix(matrix.dense())
+    raise ValueError(f"unknown representation {representation!r}; expected one of {REPRESENTATIONS}")
+
+
+@dataclass
+class PlanResult:
+    """Output of a plan execution."""
+
+    #: estimate of the data vector the plan was run on
+    x_hat: np.ndarray
+    #: budget consumed by this plan (difference of kernel counters)
+    budget_spent: float
+    #: free-form diagnostics (measurement counts, partition sizes, ...)
+    info: dict = field(default_factory=dict)
+
+    def answer(self, workload: LinearQueryMatrix) -> np.ndarray:
+        """Answers to a workload computed from the estimated data vector."""
+        return ensure_matrix(workload).matvec(self.x_hat)
+
+
+class Plan(ABC):
+    """Base class of all plans (the rows of Fig. 2)."""
+
+    #: human-readable plan name, e.g. ``"DAWA"``.
+    name: str = "plan"
+    #: operator signature following Fig. 2, e.g. ``"PD TR SG LM LS"``.
+    signature: str = ""
+    #: identifier in Fig. 2 (None for plans outside the figure).
+    plan_id: int | None = None
+
+    @abstractmethod
+    def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
+        """Execute the plan against a protected vector source."""
+
+    def __call__(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
+        return self.run(source, epsilon, **kwargs)
+
+    def _wrap(
+        self, source: ProtectedDataSource, before: float, x_hat: np.ndarray, **info
+    ) -> PlanResult:
+        """Build a :class:`PlanResult`, computing the budget actually spent."""
+        spent = source.budget_consumed() - before
+        return PlanResult(np.asarray(x_hat, dtype=np.float64), budget_spent=spent, info=info)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,228 @@
+"""Data-dependent plans (Fig. 2, plans #7-#9, #12).
+
+These plans adapt to the input data, either through a data-dependent partition
+(AHP, DAWA), through iterative selection (MWEM) or through a two-level grid
+whose granularity reacts to observed counts (AdaptiveGrid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import Identity, LinearQueryMatrix, Total, ensure_matrix
+from ..operators.inference import least_squares, mwem_update
+from ..operators.partition import ahp_partition, dawa_partition
+from ..operators.selection import adaptive_grid_select, greedy_h_select, uniform_grid_select
+from ..operators.selection.worst_approx import worst_approximated
+from ..private.protected import ProtectedDataSource
+from .base import Plan, PlanResult, with_representation
+
+
+class MwemPlan(Plan):
+    """Plan #7 — Multiplicative Weights Exponential Mechanism (Hardt et al. 2012).
+
+    Each round selects the worst-approximated workload query with the
+    exponential mechanism (half the per-round budget), measures it with
+    Laplace noise (the other half), and applies the multiplicative-weights
+    update using the full measurement history.
+    """
+
+    name = "MWEM"
+    signature = "I:( SW LM MW )"
+    plan_id = 7
+
+    def __init__(
+        self,
+        workload: LinearQueryMatrix,
+        rounds: int = 10,
+        total_records: float | None = None,
+        history_passes: int = 10,
+    ):
+        self.workload = ensure_matrix(workload)
+        self.rounds = rounds
+        self.total_records = total_records
+        self.history_passes = history_passes
+
+    def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
+        before = source.budget_consumed()
+        n = source.domain_size
+        if self.workload.shape[1] != n:
+            raise ValueError("workload does not match the vector's domain size")
+
+        if self.total_records is None:
+            # MWEM assumes a known total; estimate it with 5% of the budget.
+            total_epsilon = 0.05 * epsilon
+            total = max(source.vector_laplace(Total(n), total_epsilon)[0], 1.0)
+            remaining = epsilon - total_epsilon
+        else:
+            total = float(self.total_records)
+            remaining = epsilon
+
+        x_hat = np.full(n, total / n)
+        per_round = remaining / self.rounds
+        history: list[tuple[np.ndarray, float]] = []
+
+        for _ in range(self.rounds):
+            _, row = worst_approximated(source, self.workload, x_hat, per_round / 2.0)
+            from ..matrix.dense import DenseMatrix
+
+            measurement = DenseMatrix(row.reshape(1, -1))
+            noisy = source.vector_laplace(measurement, per_round / 2.0)[0]
+            history.append((row, noisy))
+            # Multiplicative-weights update over the full history (several passes).
+            for _ in range(self.history_passes):
+                for past_row, past_answer in history:
+                    x_hat = mwem_update(x_hat, past_row, past_answer, total)
+
+        return self._wrap(source, before, x_hat, rounds=self.rounds, total_estimate=total)
+
+
+class AhpPlan(Plan):
+    """Plan #8 — AHP: data-adaptive clustering partition, then identity measurements."""
+
+    name = "AHP"
+    signature = "PA TR SI LM LS"
+    plan_id = 8
+
+    def __init__(
+        self,
+        partition_share: float = 0.5,
+        eta: float = 0.35,
+        gap_ratio: float = 0.5,
+        representation: str = "implicit",
+    ):
+        self.partition_share = partition_share
+        self.eta = eta
+        self.gap_ratio = gap_ratio
+        self.representation = representation
+
+    def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
+        before = source.budget_consumed()
+        partition_epsilon = self.partition_share * epsilon
+        measure_epsilon = epsilon - partition_epsilon
+        partition = ahp_partition(
+            source, partition_epsilon, eta=self.eta, gap_ratio=self.gap_ratio
+        )
+        reduced = source.reduce_by_partition(partition)
+        measurements = with_representation(
+            Identity(reduced.domain_size), self.representation
+        )
+        answers = reduced.vector_laplace(measurements, measure_epsilon)
+        estimate = least_squares(measurements, answers)
+        x_hat = partition.expand_vector(estimate.x_hat)
+        return self._wrap(
+            source, before, x_hat, num_groups=partition.num_groups
+        )
+
+
+class DawaPlan(Plan):
+    """Plan #9 — DAWA: L1-optimal interval partition, then Greedy-H on the groups."""
+
+    name = "DAWA"
+    signature = "PD TR SG LM LS"
+    plan_id = 9
+
+    def __init__(
+        self,
+        workload_intervals: list[tuple[int, int]] | None = None,
+        partition_share: float = 0.25,
+        representation: str = "implicit",
+    ):
+        self.workload_intervals = workload_intervals
+        self.partition_share = partition_share
+        self.representation = representation
+
+    def _reduced_intervals(self, partition) -> list[tuple[int, int]] | None:
+        """Map the workload's ranges onto the reduced (group) domain."""
+        if self.workload_intervals is None:
+            return None
+        groups = partition.groups
+        reduced = []
+        for lo, hi in self.workload_intervals:
+            reduced.append((int(groups[lo]), int(groups[hi])))
+        return reduced
+
+    def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
+        before = source.budget_consumed()
+        partition_epsilon = self.partition_share * epsilon
+        measure_epsilon = epsilon - partition_epsilon
+        partition = dawa_partition(source, partition_epsilon)
+        reduced = source.reduce_by_partition(partition)
+        intervals = self._reduced_intervals(partition)
+        measurements = with_representation(
+            greedy_h_select(reduced.domain_size, intervals), self.representation
+        )
+        answers = reduced.vector_laplace(measurements, measure_epsilon)
+        estimate = least_squares(measurements, answers)
+        x_hat = partition.expand_vector(estimate.x_hat)
+        return self._wrap(source, before, x_hat, num_groups=partition.num_groups)
+
+
+class AdaptiveGridPlan(Plan):
+    """Plan #12 — two-level grid whose second level adapts to first-level counts."""
+
+    name = "AdaptiveGrid"
+    signature = "SU LM LS PU TP[ SA LM]"
+    plan_id = 12
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        first_level_share: float = 0.5,
+        representation: str = "implicit",
+        c: float = 10.0,
+        c2: float = 5.0,
+    ):
+        self.shape = shape
+        self.first_level_share = first_level_share
+        self.representation = representation
+        self.c = c
+        self.c2 = c2
+
+    def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
+        before = source.budget_consumed()
+        rows, cols = self.shape
+        n = source.domain_size
+        if rows * cols != n:
+            raise ValueError("2-D shape does not match the vector's domain size")
+
+        first_epsilon = self.first_level_share * epsilon
+        second_epsilon = epsilon - first_epsilon
+
+        # Level 1: coarse uniform grid.
+        total_epsilon = 0.1 * first_epsilon
+        noisy_total = max(source.vector_laplace(Total(n), total_epsilon)[0], 1.0)
+        level1_grid = uniform_grid_select(rows, cols, noisy_total, first_epsilon, c=self.c)
+        level1_rects = level1_grid.rects
+        level1 = with_representation(level1_grid, self.representation)
+        level1_answers = source.vector_laplace(level1, first_epsilon - total_epsilon)
+
+        # Level 2: adapt the granularity inside each coarse block to its count.
+        second_parts: list[LinearQueryMatrix] = []
+        for region, noisy_count in zip(level1_rects, level1_answers):
+            finer = adaptive_grid_select(
+                region, rows, cols, noisy_count, second_epsilon, c2=self.c2
+            )
+            if finer is not None:
+                second_parts.append(finer)
+
+        matrices: list[LinearQueryMatrix] = [level1]
+        answers = [level1_answers]
+        if second_parts:
+            from ..matrix.combinators import VStack
+
+            level2 = with_representation(VStack(second_parts), self.representation)
+            answers.append(source.vector_laplace(level2, second_epsilon))
+            matrices.append(level2)
+
+        from ..matrix.combinators import VStack
+
+        all_measurements = matrices[0] if len(matrices) == 1 else VStack(matrices)
+        estimate = least_squares(all_measurements, np.concatenate(answers))
+        return self._wrap(
+            source,
+            before,
+            estimate.x_hat,
+            num_measurements=all_measurements.shape[0],
+            second_level_blocks=sum(m.shape[0] for m in second_parts),
+        )

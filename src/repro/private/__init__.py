@@ -1,0 +1,30 @@
+"""Protected kernel, budget accounting and client handles (EKTELO Sec. 4)."""
+
+from .audit import BudgetAudit, SourceReport, audit, audit_kernel
+from .budget import BudgetNode, BudgetTracker, NodeKind
+from .exceptions import (
+    BudgetExceededError,
+    InvalidTransformationError,
+    PrivacyError,
+    UnknownSourceError,
+)
+from .kernel import MeasurementRecord, ProtectedKernel
+from .protected import ProtectedDataSource, protect
+
+__all__ = [
+    "BudgetAudit",
+    "SourceReport",
+    "audit",
+    "audit_kernel",
+    "BudgetTracker",
+    "BudgetNode",
+    "NodeKind",
+    "ProtectedKernel",
+    "MeasurementRecord",
+    "ProtectedDataSource",
+    "protect",
+    "PrivacyError",
+    "BudgetExceededError",
+    "UnknownSourceError",
+    "InvalidTransformationError",
+]

@@ -1,0 +1,100 @@
+"""Budget auditing: human-readable accounting of a plan's privacy consumption.
+
+The protected kernel already tracks everything needed for the privacy proof
+(lineage, stability, per-source consumption, measurement history).  This
+module turns that state into a report a practitioner can read — which
+operators spent budget, on which derived sources, and how the parallel
+composition across partitions kept the total at the root below epsilon_total.
+
+This is public information: it never includes query answers or data values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .kernel import MeasurementRecord, ProtectedKernel
+from .protected import ProtectedDataSource
+
+
+@dataclass
+class SourceReport:
+    """Per-source accounting entry."""
+
+    name: str
+    kind: str
+    lineage: list[str]
+    cumulative_stability: float
+    consumed: float
+    measurements: list[MeasurementRecord] = field(default_factory=list)
+
+
+@dataclass
+class BudgetAudit:
+    """Full audit of a kernel's privacy consumption."""
+
+    epsilon_total: float
+    consumed_at_root: float
+    remaining: float
+    sources: list[SourceReport]
+
+    @property
+    def num_measurements(self) -> int:
+        return sum(len(source.measurements) for source in self.sources)
+
+    def to_text(self) -> str:
+        """Render the audit as an aligned plain-text report."""
+        lines = [
+            f"global budget       : {self.epsilon_total:.6g}",
+            f"consumed at the root: {self.consumed_at_root:.6g}",
+            f"remaining           : {self.remaining:.6g}",
+            f"measurements        : {self.num_measurements}",
+            "",
+            f"{'source':<22} {'kind':<10} {'stability':>9} {'consumed':>9}  measurements",
+        ]
+        for source in self.sources:
+            ops = ", ".join(
+                f"{record.operator}(eps={record.epsilon:g})" for record in source.measurements
+            )
+            lines.append(
+                f"{source.name:<22} {source.kind:<10} "
+                f"{source.cumulative_stability:>9.3g} {source.consumed:>9.3g}  {ops}"
+            )
+        return "\n".join(lines)
+
+
+def audit_kernel(kernel: ProtectedKernel) -> BudgetAudit:
+    """Build a :class:`BudgetAudit` from a kernel's public accounting state."""
+    history = kernel.history()
+    by_source: dict[str, list[MeasurementRecord]] = {}
+    for record in history:
+        by_source.setdefault(record.source, []).append(record)
+
+    sources = []
+    # Collect every source that either spent budget or appears in a lineage of one.
+    names = set(by_source)
+    for name in list(names):
+        names.update(kernel.lineage(name))
+    names.add("root")
+    for name in sorted(names):
+        sources.append(
+            SourceReport(
+                name=name,
+                kind=kernel.source_kind(name),
+                lineage=kernel.lineage(name),
+                cumulative_stability=kernel.cumulative_stability(name),
+                consumed=kernel.source_consumed(name),
+                measurements=by_source.get(name, []),
+            )
+        )
+    return BudgetAudit(
+        epsilon_total=kernel.epsilon_total,
+        consumed_at_root=kernel.budget_consumed(),
+        remaining=kernel.budget_remaining(),
+        sources=sources,
+    )
+
+
+def audit(source: ProtectedDataSource) -> BudgetAudit:
+    """Audit the kernel behind any protected handle."""
+    return audit_kernel(source.kernel)

@@ -1,0 +1,186 @@
+"""Privacy-budget accounting (Algorithm 2 of the paper).
+
+The protected kernel maintains a *transformation graph* over data-source
+variables.  Each node is one of:
+
+* the **root** (the original protected table),
+* a **derived** source, produced from its parent by a c-stable transformation,
+* a **partition** dummy node, whose children are the disjoint pieces produced
+  by a SplitByPartition transformation.
+
+A measurement of a source ``sv`` with privacy parameter ``sigma`` triggers a
+recursive budget *request*:
+
+* at the root, the request succeeds iff ``B(root) + sigma <= eps_tot``;
+* at a derived node with stability factor ``s``, the request forwards
+  ``s * sigma`` to the parent (sequential composition through stability);
+* at a partition node, only the *increase of the maximum* over children is
+  forwarded (parallel composition): ``r = max(B(child) + sigma - B(node), 0)``.
+
+This module implements that bookkeeping independently of the data, so it can
+be unit-tested and property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class NodeKind(Enum):
+    """Role of a node in the transformation graph."""
+
+    ROOT = "root"
+    DERIVED = "derived"
+    PARTITION = "partition"
+
+
+@dataclass
+class BudgetNode:
+    """Bookkeeping state of one data-source variable."""
+
+    name: str
+    kind: NodeKind
+    parent: Optional[str]
+    #: stability factor of the transformation that derived this node from its
+    #: parent (1 for the root and for partition dummy nodes).
+    stability: float = 1.0
+    #: budget consumed by queries on this node or any of its descendants.
+    consumed: float = 0.0
+    children: list[str] = field(default_factory=list)
+
+
+class BudgetTracker:
+    """Tracks per-source budget consumption and enforces the global budget."""
+
+    def __init__(self, epsilon_total: float, root_name: str = "root"):
+        if epsilon_total <= 0:
+            raise ValueError("the global privacy budget must be positive")
+        self.epsilon_total = float(epsilon_total)
+        self.root_name = root_name
+        self._nodes: dict[str, BudgetNode] = {
+            root_name: BudgetNode(root_name, NodeKind.ROOT, parent=None, stability=1.0)
+        }
+
+    # ------------------------------------------------------------------
+    # Graph construction.
+    # ------------------------------------------------------------------
+    def add_derived(self, name: str, parent: str, stability: float) -> None:
+        """Register a source derived from ``parent`` by a ``stability``-stable transform."""
+        self._check_new(name, parent)
+        if stability <= 0:
+            raise ValueError("stability must be positive")
+        self._nodes[name] = BudgetNode(name, NodeKind.DERIVED, parent, float(stability))
+        self._nodes[parent].children.append(name)
+
+    def add_partition(self, name: str, parent: str) -> None:
+        """Register the dummy node introduced by a SplitByPartition transform."""
+        self._check_new(name, parent)
+        self._nodes[name] = BudgetNode(name, NodeKind.PARTITION, parent, 1.0)
+        self._nodes[parent].children.append(name)
+
+    def _check_new(self, name: str, parent: str) -> None:
+        if name in self._nodes:
+            raise ValueError(f"source variable {name!r} already exists")
+        if parent not in self._nodes:
+            raise KeyError(f"unknown parent source variable {parent!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> BudgetNode:
+        if name not in self._nodes:
+            raise KeyError(f"unknown source variable {name!r}")
+        return self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # Algorithm 2.
+    # ------------------------------------------------------------------
+    def request(self, name: str, sigma: float) -> bool:
+        """Attempt to consume ``sigma`` budget on source ``name``.
+
+        Returns ``True`` and updates the per-node counters if the request fits
+        within the global budget; returns ``False`` (leaving all counters
+        unchanged) otherwise.  Mirrors Algorithm 2 exactly, including the
+        parallel-composition treatment of partition nodes.
+        """
+        if sigma < 0:
+            raise ValueError("budget requests must be non-negative")
+        node = self.node(name)
+        if node.kind is NodeKind.ROOT:
+            if node.consumed + sigma > self.epsilon_total + 1e-12:
+                return False
+            node.consumed += sigma
+            return True
+        if node.kind is NodeKind.PARTITION:
+            # A request arriving at the partition node comes from one child
+            # whose consumption has already been (tentatively) increased; here
+            # we receive the child's *new* total via sigma being the increase
+            # requested at the child.  Following Algorithm 2 we forward only
+            # the increase of the maximum over children.
+            raise RuntimeError(
+                "requests are never issued directly against a partition node; "
+                "they are forwarded from its children"
+            )
+        # DERIVED node.
+        parent = self._nodes[node.parent]
+        if parent.kind is NodeKind.PARTITION:
+            increase = max(node.consumed + sigma - parent.consumed, 0.0)
+            ok = self._forward_from_partition(parent, increase)
+            if not ok:
+                return False
+            node.consumed += sigma
+            return True
+        ok = self.request(node.parent, node.stability * sigma)
+        if not ok:
+            return False
+        node.consumed += sigma
+        return True
+
+    def _forward_from_partition(self, partition: BudgetNode, increase: float) -> bool:
+        """Forward a child's budget increase through a partition dummy node."""
+        if increase <= 0:
+            return True
+        grandparent_name = partition.parent
+        grandparent = self._nodes[grandparent_name]
+        if grandparent.kind is NodeKind.PARTITION:
+            # Nested partitions: the partition node itself behaves like a child.
+            nested_increase = max(partition.consumed + increase - grandparent.consumed, 0.0)
+            ok = self._forward_from_partition(grandparent, nested_increase)
+        else:
+            # The partition transformation itself is 1-stable.
+            ok = self.request(grandparent_name, partition.stability * increase)
+        if not ok:
+            return False
+        partition.consumed += increase
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def consumed(self, name: str = None) -> float:
+        """Budget consumed at ``name`` (default: at the root, i.e. globally)."""
+        return self.node(name or self.root_name).consumed
+
+    def remaining(self) -> float:
+        """Remaining global budget."""
+        return self.epsilon_total - self._nodes[self.root_name].consumed
+
+    def lineage(self, name: str) -> list[str]:
+        """Chain of ancestors from ``name`` up to (and including) the root."""
+        chain = [name]
+        node = self.node(name)
+        while node.parent is not None:
+            chain.append(node.parent)
+            node = self._nodes[node.parent]
+        return chain
+
+    def cumulative_stability(self, name: str) -> float:
+        """Product of stability factors from ``name`` up to the root."""
+        product = 1.0
+        node = self.node(name)
+        while node.parent is not None:
+            product *= node.stability
+            node = self._nodes[node.parent]
+        return product

@@ -1,0 +1,328 @@
+"""The protected kernel (Sec. 4).
+
+The kernel is the only component that touches private data.  It maintains:
+
+* the data-source environment (variable name → table or vector),
+* the transformation graph with per-edge stability,
+* the per-source budget consumption (via :class:`~repro.private.budget.BudgetTracker`),
+* the query history (every measurement actually answered).
+
+Client code (plans, operators) never receives the private data.  It holds
+:class:`~repro.private.protected.ProtectedDataSource` handles and interacts
+with the kernel through:
+
+* *Private* requests — transformations, which return new handles,
+* *Private→Public* requests — measurements (Laplace queries, exponential-
+  mechanism selections), which spend budget and return noisy answers,
+* *Public* metadata — schema and domain sizes, which are data-independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..dataset.relation import STABILITY, Relation
+from ..matrix import LinearQueryMatrix, ReductionMatrix, ensure_matrix
+from .budget import BudgetTracker
+from .exceptions import (
+    BudgetExceededError,
+    InvalidTransformationError,
+    UnknownSourceError,
+)
+
+
+@dataclass
+class MeasurementRecord:
+    """One entry of the kernel's query history."""
+
+    source: str
+    operator: str
+    epsilon: float
+    noise_scale: float
+    num_queries: int
+
+
+@dataclass
+class _Source:
+    """Internal storage of a data source (table or vector)."""
+
+    name: str
+    data: object  # Relation | np.ndarray | None (partition dummy)
+    kind: str  # "table" | "vector" | "partition"
+    metadata: dict = field(default_factory=dict)
+
+
+class ProtectedKernel:
+    """Holds the private data and enforces differential privacy for any plan."""
+
+    def __init__(self, table: Relation, epsilon_total: float, seed: int | None = None):
+        self._budget = BudgetTracker(epsilon_total)
+        self._sources: dict[str, _Source] = {
+            "root": _Source("root", table, "table", {"schema": table.schema})
+        }
+        self._rng = np.random.default_rng(seed)
+        self._history: list[MeasurementRecord] = []
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers.
+    # ------------------------------------------------------------------
+    def _fresh_name(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._counter)}"
+
+    def _get(self, name: str) -> _Source:
+        if name not in self._sources:
+            raise UnknownSourceError(f"unknown data-source variable {name!r}")
+        return self._sources[name]
+
+    def _table(self, name: str) -> Relation:
+        source = self._get(name)
+        if source.kind != "table":
+            raise InvalidTransformationError(f"source {name!r} is not a table")
+        return source.data
+
+    def _vector(self, name: str) -> np.ndarray:
+        source = self._get(name)
+        if source.kind != "vector":
+            raise InvalidTransformationError(f"source {name!r} is not a vector")
+        return source.data
+
+    # ------------------------------------------------------------------
+    # Public (non-private) metadata.
+    # ------------------------------------------------------------------
+    @property
+    def epsilon_total(self) -> float:
+        return self._budget.epsilon_total
+
+    def budget_consumed(self) -> float:
+        """Total budget consumed so far (at the root)."""
+        return self._budget.consumed()
+
+    def budget_remaining(self) -> float:
+        return self._budget.remaining()
+
+    def history(self) -> list[MeasurementRecord]:
+        """A copy of the measurement history (public: contains no raw data)."""
+        return list(self._history)
+
+    def source_kind(self, name: str) -> str:
+        return self._get(name).kind
+
+    def schema(self, name: str):
+        """Schema of a table source (data-independent metadata)."""
+        return self._table(name).schema
+
+    def domain_size(self, name: str) -> int:
+        """Length of a vector source / vectorised domain size of a table source."""
+        source = self._get(name)
+        if source.kind == "vector":
+            return int(source.data.size)
+        if source.kind == "table":
+            return source.data.domain_size
+        raise InvalidTransformationError("partition dummy sources have no domain size")
+
+    # ------------------------------------------------------------------
+    # Private operators: table transformations.
+    # ------------------------------------------------------------------
+    def transform_where(self, name: str, predicate) -> str:
+        """Filter records (1-stable)."""
+        table = self._table(name)
+        new = self._fresh_name("where")
+        self._sources[new] = _Source(new, table.where(predicate), "table")
+        self._budget.add_derived(new, name, STABILITY["where"])
+        return new
+
+    def transform_select(self, name: str, attributes: Sequence[str]) -> str:
+        """Project onto a subset of attributes (1-stable)."""
+        table = self._table(name)
+        new = self._fresh_name("select")
+        self._sources[new] = _Source(new, table.select(attributes), "table")
+        self._budget.add_derived(new, name, STABILITY["select"])
+        return new
+
+    def transform_vectorize(self, name: str) -> str:
+        """T-Vectorize: turn a table into its histogram vector (1-stable)."""
+        table = self._table(name)
+        new = self._fresh_name("vector")
+        self._sources[new] = _Source(
+            new, table.vectorize(), "vector", {"domain": table.schema.domain}
+        )
+        self._budget.add_derived(new, name, STABILITY["vectorize"])
+        return new
+
+    def transform_group_by(self, name: str, attribute: str) -> dict[int, str]:
+        """GroupBy an attribute (2-stable); returns value → new source variable."""
+        table = self._table(name)
+        result = {}
+        for value, group in table.group_by(attribute).items():
+            new = self._fresh_name(f"group_{attribute}")
+            self._sources[new] = _Source(new, group, "table")
+            self._budget.add_derived(new, name, STABILITY["group_by"])
+            result[value] = new
+        return result
+
+    # ------------------------------------------------------------------
+    # Private operators: vector transformations.
+    # ------------------------------------------------------------------
+    def transform_reduce_by_partition(self, name: str, partition: ReductionMatrix) -> str:
+        """V-ReduceByPartition: ``x' = P x`` (1-stable)."""
+        vector = self._vector(name)
+        if partition.shape[1] != vector.size:
+            raise InvalidTransformationError(
+                f"partition has {partition.shape[1]} columns but the vector has {vector.size} cells"
+            )
+        new = self._fresh_name("reduce")
+        self._sources[new] = _Source(new, partition.reduce_vector(vector), "vector")
+        self._budget.add_derived(new, name, partition.sensitivity())
+        return new
+
+    def transform_linear(self, name: str, matrix: LinearQueryMatrix) -> str:
+        """Generic linear vector transformation ``x' = M x``.
+
+        Stability equals the maximum L1 column norm of ``M`` (Sec. 5.1).
+        """
+        vector = self._vector(name)
+        matrix = ensure_matrix(matrix)
+        if matrix.shape[1] != vector.size:
+            raise InvalidTransformationError("matrix column count does not match the vector")
+        new = self._fresh_name("linear")
+        self._sources[new] = _Source(new, matrix.matvec(vector), "vector")
+        self._budget.add_derived(new, name, matrix.sensitivity())
+        return new
+
+    def transform_split_by_partition(
+        self, name: str, partition: ReductionMatrix
+    ) -> tuple[str, list[str]]:
+        """V-SplitByPartition: split a vector into disjoint pieces (1-stable).
+
+        Returns the dummy partition variable and one child variable per group,
+        enabling parallel composition across the children.
+        """
+        vector = self._vector(name)
+        if partition.shape[1] != vector.size:
+            raise InvalidTransformationError("partition does not match the vector size")
+        dummy = self._fresh_name("partition")
+        self._sources[dummy] = _Source(dummy, None, "partition")
+        self._budget.add_partition(dummy, name)
+        children = []
+        for g, idx in enumerate(partition.split_indices()):
+            child = self._fresh_name(f"split{g}")
+            self._sources[child] = _Source(child, vector[idx], "vector", {"indices": idx})
+            self._budget.add_derived(child, dummy, 1.0)
+            children.append(child)
+        return dummy, children
+
+    def transform_table_split(self, name: str, attribute: str) -> tuple[str, dict[int, str]]:
+        """SplitByPartition on a table keyed by an attribute's value (1-stable)."""
+        table = self._table(name)
+        dummy = self._fresh_name("tpartition")
+        self._sources[dummy] = _Source(dummy, None, "partition")
+        self._budget.add_partition(dummy, name)
+        children = {}
+        for value, group in table.group_by(attribute).items():
+            child = self._fresh_name(f"tsplit_{attribute}_{value}")
+            self._sources[child] = _Source(child, group, "table")
+            self._budget.add_derived(child, dummy, 1.0)
+            children[value] = child
+        return dummy, children
+
+    # ------------------------------------------------------------------
+    # Private -> Public operators: measurements.
+    # ------------------------------------------------------------------
+    def _charge(self, name: str, epsilon: float) -> None:
+        if epsilon <= 0:
+            raise ValueError("the privacy parameter of a measurement must be positive")
+        if not self._budget.request(name, epsilon):
+            raise BudgetExceededError(epsilon, self._budget.remaining())
+
+    def measure_vector_laplace(
+        self, name: str, queries: LinearQueryMatrix, epsilon: float
+    ) -> np.ndarray:
+        """Vector Laplace: noisy answers ``M x + (sensitivity(M)/eps) * Lap(1)^m``.
+
+        The sensitivity is computed automatically from the query matrix; the
+        budget charged on the source is ``epsilon`` and the kernel's budget
+        tracker converts it to root-level cost through the lineage stabilities.
+        """
+        vector = self._vector(name)
+        queries = ensure_matrix(queries)
+        if queries.shape[1] != vector.size:
+            raise InvalidTransformationError(
+                f"query matrix has {queries.shape[1]} columns but the vector has {vector.size} cells"
+            )
+        self._charge(name, epsilon)
+        sensitivity = queries.sensitivity()
+        scale = sensitivity / epsilon
+        answers = queries.matvec(vector)
+        noise = self._rng.laplace(0.0, scale, size=queries.shape[0])
+        self._history.append(
+            MeasurementRecord(name, "VectorLaplace", epsilon, scale, queries.shape[0])
+        )
+        return answers + noise
+
+    def measure_noisy_count(self, name: str, epsilon: float) -> float:
+        """NoisyCount on a table source: ``|D| + Lap(1/eps)``."""
+        table = self._table(name)
+        self._charge(name, epsilon)
+        self._history.append(MeasurementRecord(name, "NoisyCount", epsilon, 1.0 / epsilon, 1))
+        return float(len(table) + self._rng.laplace(0.0, 1.0 / epsilon))
+
+    def select_exponential_mechanism(
+        self,
+        name: str,
+        scores: Callable[[np.ndarray], np.ndarray],
+        num_candidates: int,
+        epsilon: float,
+        score_sensitivity: float,
+    ) -> int:
+        """Exponential mechanism over ``num_candidates`` options.
+
+        ``scores(x)`` maps the private vector to a score per candidate (higher
+        is better).  Used by the MWEM worst-approximated query selection and by
+        PrivBayes network selection.
+        """
+        vector = self._vector(name)
+        self._charge(name, epsilon)
+        utility = np.asarray(scores(vector), dtype=np.float64)
+        if utility.shape != (num_candidates,):
+            raise ValueError("score function returned the wrong number of candidates")
+        logits = epsilon * utility / (2.0 * score_sensitivity)
+        logits -= logits.max()
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum()
+        choice = int(self._rng.choice(num_candidates, p=probabilities))
+        self._history.append(
+            MeasurementRecord(name, "ExponentialMechanism", epsilon, score_sensitivity, 1)
+        )
+        return choice
+
+    def measure_laplace_scalar(
+        self, name: str, statistic: Callable[[np.ndarray], float], sensitivity: float, epsilon: float
+    ) -> float:
+        """Laplace measurement of an arbitrary scalar statistic of the vector.
+
+        The caller declares the statistic's sensitivity; this primitive is used
+        by vetted Private→Public operators such as the DAWA partition scoring.
+        """
+        vector = self._vector(name)
+        self._charge(name, epsilon)
+        value = float(statistic(vector))
+        scale = sensitivity / epsilon
+        self._history.append(MeasurementRecord(name, "LaplaceScalar", epsilon, scale, 1))
+        return value + float(self._rng.laplace(0.0, scale))
+
+    # ------------------------------------------------------------------
+    # Lineage introspection (public).
+    # ------------------------------------------------------------------
+    def lineage(self, name: str) -> list[str]:
+        return self._budget.lineage(name)
+
+    def cumulative_stability(self, name: str) -> float:
+        return self._budget.cumulative_stability(name)
+
+    def source_consumed(self, name: str) -> float:
+        return self._budget.consumed(name)

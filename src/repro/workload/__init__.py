@@ -1,0 +1,23 @@
+"""Workload builders (the query sets plans aim to answer)."""
+
+from .builders import (
+    all_range_workload,
+    census_prefix_income_workload,
+    identity_workload,
+    marginals_workload,
+    naive_bayes_workload,
+    prefix_workload,
+    random_range_workload,
+    two_way_marginals_workload,
+)
+
+__all__ = [
+    "prefix_workload",
+    "random_range_workload",
+    "all_range_workload",
+    "identity_workload",
+    "two_way_marginals_workload",
+    "census_prefix_income_workload",
+    "naive_bayes_workload",
+    "marginals_workload",
+]

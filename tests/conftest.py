@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, Relation, Schema, small_census, synthetic_credit_default
+from repro.private import protect
+
+
+@pytest.fixture
+def rng():
+    """A seeded random generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_vector():
+    """A small non-negative integer data vector (a 1-D histogram)."""
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 40, size=64).astype(np.float64)
+
+
+@pytest.fixture
+def tiny_census():
+    """A scaled-down census relation (income 50 bins) for end-to-end tests."""
+    return small_census(num_records=2000, seed=11)
+
+
+@pytest.fixture
+def tiny_credit():
+    """A small credit-default relation for the Naive Bayes tests."""
+    return synthetic_credit_default(num_records=3000, seed=13)
+
+
+def make_vector_relation(values: np.ndarray, name: str = "v") -> Relation:
+    """Wrap a histogram as a one-attribute relation whose vectorisation equals it."""
+    schema = Schema.build([Attribute(name, len(values))])
+    return Relation.from_histogram(schema, values)
+
+
+@pytest.fixture
+def vector_source_factory():
+    """Factory fixture: build a protected vector source around a histogram."""
+
+    def build(values: np.ndarray, epsilon: float = 1.0, seed: int = 0):
+        relation = make_vector_relation(np.asarray(values, dtype=np.float64))
+        return protect(relation, epsilon, seed=seed).vectorize()
+
+    return build

@@ -1,0 +1,55 @@
+"""Tests for the budget auditing report."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import Identity, ReductionMatrix, Total
+from repro.private import audit, protect
+from tests.conftest import make_vector_relation
+
+
+@pytest.fixture
+def audited_source():
+    x = np.arange(24.0)
+    source = protect(make_vector_relation(x), 1.0, seed=0)
+    vector = source.vectorize()
+    vector.vector_laplace(Total(24), 0.25)
+    pieces = vector.split_by_partition(ReductionMatrix(np.arange(24) % 2))
+    for piece in pieces:
+        piece.vector_laplace(Identity(piece.domain_size), 0.5)
+    return source
+
+
+class TestBudgetAudit:
+    def test_totals_match_kernel(self, audited_source):
+        report = audit(audited_source)
+        assert report.epsilon_total == 1.0
+        assert report.consumed_at_root == pytest.approx(0.75)
+        assert report.remaining == pytest.approx(0.25)
+
+    def test_counts_measurements(self, audited_source):
+        report = audit(audited_source)
+        assert report.num_measurements == 3  # one Total + one Identity per split piece
+
+    def test_sources_include_lineage(self, audited_source):
+        report = audit(audited_source)
+        names = {source.name for source in report.sources}
+        assert "root" in names
+        # The vectorised source and both split children appear.
+        assert any(name.startswith("vector") for name in names)
+        assert sum(name.startswith("split") for name in names) == 2
+
+    def test_text_rendering(self, audited_source):
+        text = audit(audited_source).to_text()
+        assert "global budget" in text
+        assert "VectorLaplace" in text
+        assert "0.75" in text
+
+    def test_stability_reported(self):
+        relation_source = protect(make_vector_relation(np.arange(6.0)), 1.0, seed=1)
+        groups = relation_source.group_by("v")
+        any_group = next(iter(groups.values()))
+        any_group.vectorize().vector_laplace(Identity(6), 0.1)
+        report = audit(relation_source)
+        stabilities = {s.name: s.cumulative_stability for s in report.sources}
+        assert any(value == pytest.approx(2.0) for value in stabilities.values())

@@ -1,0 +1,83 @@
+"""Property-based tests for the inference operators.
+
+Invariants checked on random inputs:
+
+* least squares on a full-column-rank measurement matrix recovers the exact
+  data vector when the answers are noiseless;
+* the NNLS estimate is always entry-wise non-negative;
+* multiplicative weights preserves total mass and non-negativity;
+* adding an extra noiseless measurement never increases the least-squares
+  residual of the original measurements (information monotonicity).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.matrix import DenseMatrix, HierarchicalQueries, Identity, Prefix, Total, VStack
+from repro.operators.inference import least_squares, multiplicative_weights, nnls
+
+counts = st.integers(min_value=0, max_value=60)
+domain_sizes = st.integers(min_value=2, max_value=32)
+
+
+def count_vectors(n):
+    return hnp.arrays(np.float64, n, elements=st.floats(min_value=0, max_value=60))
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_least_squares_recovers_noiseless_data(data):
+    n = data.draw(domain_sizes)
+    x = data.draw(count_vectors(n))
+    strategy = data.draw(
+        st.sampled_from(
+            [Identity(n), HierarchicalQueries(n), VStack([Identity(n), Prefix(n)])]
+        )
+    )
+    result = least_squares(strategy, strategy.matvec(x))
+    assert np.allclose(result.x_hat, x, atol=1e-3)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_nnls_output_is_nonnegative(data):
+    n = data.draw(domain_sizes)
+    x = data.draw(count_vectors(n))
+    noise = data.draw(hnp.arrays(np.float64, n, elements=st.floats(min_value=-30, max_value=30)))
+    result = nnls(Identity(n), x + noise)
+    assert np.all(result.x_hat >= -1e-12)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_multiplicative_weights_preserves_mass(data):
+    n = data.draw(domain_sizes)
+    x = data.draw(count_vectors(n))
+    total = float(x.sum()) + 1.0  # strictly positive
+    strategy = Prefix(n)
+    result = multiplicative_weights(strategy, strategy.matvec(x), total=total, iterations=5)
+    assert np.all(result.x_hat >= 0)
+    assert np.isclose(result.x_hat.sum(), total, rtol=1e-6)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_extra_measurements_do_not_hurt_fit(data):
+    n = data.draw(domain_sizes)
+    x = data.draw(count_vectors(n))
+    base = Identity(n)
+    noise = data.draw(hnp.arrays(np.float64, n, elements=st.floats(min_value=-10, max_value=10)))
+    noisy_answers = x + noise
+    base_fit = least_squares(base, noisy_answers)
+
+    extra = Total(n)
+    augmented = VStack([base, extra])
+    augmented_answers = np.concatenate([noisy_answers, [float(x.sum())]])
+    augmented_fit = least_squares(augmented, augmented_answers)
+
+    # The augmented estimate cannot be further from the truth on the total query.
+    base_total_error = abs(base_fit.x_hat.sum() - x.sum())
+    augmented_total_error = abs(augmented_fit.x_hat.sum() - x.sum())
+    assert augmented_total_error <= base_total_error + 1e-6

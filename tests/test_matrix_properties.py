@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the implicit matrix engine.
+
+The central invariant: every implicit matrix agrees with its dense
+materialisation on all primitive methods.  Additional algebraic identities
+(Kronecker mixed-product, stack/product compatibility, partition pseudo-inverse)
+are checked on randomly generated inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.matrix import (
+    DenseMatrix,
+    HaarWavelet,
+    HierarchicalQueries,
+    Identity,
+    Kronecker,
+    Ones,
+    Prefix,
+    Product,
+    RangeQueries,
+    ReductionMatrix,
+    Suffix,
+    Total,
+    VStack,
+    Weighted,
+)
+
+sizes = st.integers(min_value=1, max_value=24)
+small_sizes = st.integers(min_value=1, max_value=8)
+floats = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+def vectors(n):
+    return hnp.arrays(np.float64, n, elements=floats)
+
+
+@st.composite
+def core_matrices(draw):
+    n = draw(sizes)
+    kind = draw(st.sampled_from(["identity", "ones", "total", "prefix", "suffix", "wavelet", "hier"]))
+    if kind == "identity":
+        return Identity(n)
+    if kind == "ones":
+        return Ones(draw(sizes), n)
+    if kind == "total":
+        return Total(n)
+    if kind == "prefix":
+        return Prefix(n)
+    if kind == "suffix":
+        return Suffix(n)
+    if kind == "wavelet":
+        exponent = draw(st.integers(min_value=0, max_value=4))
+        return HaarWavelet(2**exponent)
+    return HierarchicalQueries(n, branching=draw(st.integers(min_value=2, max_value=4)))
+
+
+@st.composite
+def composed_matrices(draw):
+    base = draw(core_matrices())
+    operation = draw(st.sampled_from(["plain", "weighted", "stack", "product"]))
+    if operation == "plain":
+        return base
+    if operation == "weighted":
+        return Weighted(base, draw(st.floats(min_value=-3, max_value=3, allow_nan=False)))
+    if operation == "stack":
+        other = Identity(base.shape[1])
+        return VStack([base, other])
+    dense = DenseMatrix(
+        draw(
+            hnp.arrays(
+                np.float64,
+                (draw(small_sizes), base.shape[0]),
+                elements=st.floats(min_value=-3, max_value=3, allow_nan=False),
+            )
+        )
+    )
+    return Product(dense, base)
+
+
+@given(composed_matrices(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_matvec_agrees_with_dense(matrix, data):
+    dense = matrix.dense()
+    v = data.draw(vectors(matrix.shape[1]))
+    assert np.allclose(matrix.matvec(v), dense @ v, atol=1e-7)
+
+
+@given(composed_matrices(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_rmatvec_agrees_with_dense(matrix, data):
+    dense = matrix.dense()
+    u = data.draw(vectors(matrix.shape[0]))
+    assert np.allclose(matrix.rmatvec(u), dense.T @ u, atol=1e-7)
+
+
+@given(composed_matrices())
+@settings(max_examples=60, deadline=None)
+def test_sensitivity_agrees_with_dense(matrix):
+    dense = matrix.dense()
+    expected_l1 = np.abs(dense).sum(axis=0).max() if dense.size else 0.0
+    assert np.isclose(matrix.sensitivity(), expected_l1, rtol=1e-6, atol=1e-9)
+
+
+@given(composed_matrices())
+@settings(max_examples=40, deadline=None)
+def test_l2_sensitivity_agrees_with_dense(matrix):
+    dense = matrix.dense()
+    expected = np.sqrt((dense**2).sum(axis=0).max()) if dense.size else 0.0
+    assert np.isclose(matrix.sensitivity_l2(), expected, rtol=1e-6, atol=1e-9)
+
+
+@given(composed_matrices())
+@settings(max_examples=40, deadline=None)
+def test_transpose_dense_consistency(matrix):
+    assert np.allclose(matrix.T.dense(), matrix.dense().T, atol=1e-9)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_kronecker_agrees_with_numpy(data):
+    a = data.draw(
+        hnp.arrays(np.float64, (data.draw(small_sizes), data.draw(small_sizes)), elements=floats)
+    )
+    b = data.draw(
+        hnp.arrays(np.float64, (data.draw(small_sizes), data.draw(small_sizes)), elements=floats)
+    )
+    k = Kronecker([DenseMatrix(a), DenseMatrix(b)])
+    expected = np.kron(a, b)
+    v = data.draw(vectors(expected.shape[1]))
+    assert np.allclose(k.matvec(v), expected @ v, atol=1e-6)
+    u = data.draw(vectors(expected.shape[0]))
+    assert np.allclose(k.rmatvec(u), expected.T @ u, atol=1e-6)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_range_queries_match_bruteforce(data):
+    n = data.draw(st.integers(min_value=1, max_value=40))
+    num_queries = data.draw(st.integers(min_value=1, max_value=10))
+    intervals = []
+    for _ in range(num_queries):
+        lo = data.draw(st.integers(min_value=0, max_value=n - 1))
+        hi = data.draw(st.integers(min_value=lo, max_value=n - 1))
+        intervals.append((lo, hi))
+    r = RangeQueries(n, intervals)
+    x = data.draw(vectors(n))
+    expected = np.array([x[lo : hi + 1].sum() for lo, hi in intervals])
+    assert np.allclose(r.matvec(x), expected, atol=1e-7)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_partition_pseudo_inverse_identity(data):
+    n = data.draw(st.integers(min_value=1, max_value=30))
+    groups = data.draw(hnp.arrays(np.int64, n, elements=st.integers(min_value=0, max_value=5)))
+    p = ReductionMatrix(groups)
+    dense = p.dense()
+    pinv = p.pseudo_inverse().dense()
+    # P P+ = I_p (exact for partition matrices).
+    assert np.allclose(dense @ pinv, np.eye(p.num_groups), atol=1e-9)
+    assert np.allclose(pinv, np.linalg.pinv(dense), atol=1e-9)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_partition_reduction_preserves_total(data):
+    n = data.draw(st.integers(min_value=1, max_value=30))
+    groups = data.draw(hnp.arrays(np.int64, n, elements=st.integers(min_value=0, max_value=4)))
+    x = data.draw(hnp.arrays(np.float64, n, elements=floats))
+    p = ReductionMatrix(groups)
+    assert np.isclose(p.reduce_vector(x).sum(), x.sum(), atol=1e-6)

@@ -1,0 +1,143 @@
+"""Unit tests for range-query and hierarchical matrix constructions."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import (
+    HierarchicalQueries,
+    RangeQueries,
+    RangeQueries2D,
+    hierarchical_intervals,
+    optimal_branching_factor,
+    quadtree_rects,
+)
+
+
+class TestRangeQueries:
+    def test_dense_rows_are_indicator_ranges(self):
+        r = RangeQueries(6, [(1, 3), (0, 5)])
+        dense = r.dense()
+        assert np.array_equal(dense[0], [0, 1, 1, 1, 0, 0])
+        assert np.array_equal(dense[1], [1, 1, 1, 1, 1, 1])
+
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(0)
+        r = RangeQueries(20, [(0, 4), (5, 19), (3, 10), (7, 7)])
+        v = rng.normal(size=20)
+        assert np.allclose(r.matvec(v), r.dense() @ v)
+
+    def test_rmatvec_matches_dense(self):
+        rng = np.random.default_rng(1)
+        r = RangeQueries(20, [(0, 4), (5, 19), (3, 10)])
+        u = rng.normal(size=3)
+        assert np.allclose(r.rmatvec(u), r.dense().T @ u)
+
+    def test_sensitivity_is_max_coverage(self):
+        r = RangeQueries(10, [(0, 9), (2, 5), (3, 3)])
+        assert r.sensitivity() == np.abs(r.dense()).sum(axis=0).max()
+
+    def test_abs_square_are_noops(self):
+        r = RangeQueries(5, [(0, 2)])
+        assert abs(r) is r
+        assert r.square() is r
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQueries(5, [(3, 7)])
+        with pytest.raises(ValueError):
+            RangeQueries(5, [])
+
+    def test_row(self):
+        r = RangeQueries(5, [(1, 3)])
+        assert np.allclose(r.row(0), [0, 1, 1, 1, 0])
+
+
+class TestHierarchicalQueries:
+    def test_includes_identity_and_root(self):
+        h = HierarchicalQueries(8, branching=2)
+        dense = h.dense()
+        # First 8 rows are the identity.
+        assert np.array_equal(dense[:8], np.eye(8))
+        # Some row is the full-domain total.
+        assert any(np.array_equal(row, np.ones(8)) for row in dense)
+
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(2)
+        h = HierarchicalQueries(16, branching=4)
+        v = rng.normal(size=16)
+        assert np.allclose(h.matvec(v), h.dense() @ v)
+
+    def test_rmatvec_matches_dense(self):
+        rng = np.random.default_rng(3)
+        h = HierarchicalQueries(16, branching=3)
+        u = rng.normal(size=h.shape[0])
+        assert np.allclose(h.rmatvec(u), h.dense().T @ u)
+
+    def test_full_column_rank(self):
+        h = HierarchicalQueries(12, branching=2)
+        assert np.linalg.matrix_rank(h.dense()) == 12
+
+    def test_hierarchical_intervals_cover_domain(self):
+        intervals = hierarchical_intervals(10, branching=2)
+        assert (0, 9) in intervals
+        for lo, hi in intervals:
+            assert 0 <= lo <= hi <= 9
+            assert hi - lo + 1 >= 2  # unit intervals excluded
+
+    def test_invalid_branching(self):
+        with pytest.raises(ValueError):
+            hierarchical_intervals(8, branching=1)
+
+
+class TestOptimalBranching:
+    def test_within_range(self):
+        for n in [2, 10, 100, 4096, 10**6]:
+            b = optimal_branching_factor(n)
+            assert 2 <= b <= 16
+
+    def test_monotone_reasonable(self):
+        # Larger domains favour larger branching factors (weakly).
+        assert optimal_branching_factor(10**6) >= optimal_branching_factor(16)
+
+
+class TestRangeQueries2D:
+    def test_dense_rectangles(self):
+        r = RangeQueries2D(3, 4, [(0, 1, 1, 2)])
+        block = r.dense()[0].reshape(3, 4)
+        expected = np.zeros((3, 4))
+        expected[0:2, 1:3] = 1.0
+        assert np.array_equal(block, expected)
+
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(4)
+        rects = [(0, 2, 0, 2), (1, 3, 2, 5), (0, 0, 0, 0)]
+        r = RangeQueries2D(4, 6, rects)
+        v = rng.normal(size=24)
+        assert np.allclose(r.matvec(v), r.dense() @ v)
+
+    def test_rmatvec_matches_dense(self):
+        rng = np.random.default_rng(5)
+        rects = [(0, 2, 0, 2), (1, 3, 2, 5)]
+        r = RangeQueries2D(4, 6, rects)
+        u = rng.normal(size=2)
+        assert np.allclose(r.rmatvec(u), r.dense().T @ u)
+
+    def test_out_of_domain_rect_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQueries2D(3, 3, [(0, 3, 0, 2)])
+
+
+class TestQuadtree:
+    def test_root_covers_domain(self):
+        rects = quadtree_rects(8, 8)
+        assert (0, 7, 0, 7) in rects
+
+    def test_leaves_reach_min_size(self):
+        rects = quadtree_rects(8, 8, min_size=1)
+        unit_cells = [r for r in rects if r[0] == r[1] and r[2] == r[3]]
+        assert len(unit_cells) == 64
+
+    def test_all_rects_valid(self):
+        for r_lo, r_hi, c_lo, c_hi in quadtree_rects(5, 9, min_size=2):
+            assert 0 <= r_lo <= r_hi < 5
+            assert 0 <= c_lo <= c_hi < 9

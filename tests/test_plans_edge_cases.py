@@ -1,0 +1,133 @@
+"""Edge-case and error-path tests for the plan library."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import load_1d, load_2d
+from repro.matrix import Identity, Kronecker, Prefix, Total, VStack
+from repro.plans import (
+    AhpPlan,
+    DawaPlan,
+    GreedyHPlan,
+    HdmmPlan,
+    IdentityPlan,
+    MwemPlan,
+    PriveletPlan,
+    UniformGridPlan,
+    UniformPlan,
+)
+from repro.private import protect
+from repro.workload import random_range_workload
+from tests.conftest import make_vector_relation
+
+
+def _source(x, epsilon=1.0, seed=0):
+    return protect(make_vector_relation(np.asarray(x, dtype=float)), epsilon, seed=seed).vectorize()
+
+
+class TestErrorPaths:
+    def test_privelet_rejects_non_power_of_two_domain(self):
+        x = np.ones(100)
+        source = _source(x)
+        with pytest.raises(ValueError):
+            PriveletPlan().run(source, 1.0)
+
+    def test_hdmm_rejects_mismatched_workload(self):
+        x = np.ones(64)
+        source = _source(x)
+        with pytest.raises(ValueError):
+            HdmmPlan(Prefix(32)).run(source, 1.0)
+
+    def test_mwem_rejects_mismatched_workload(self):
+        x = np.ones(64)
+        source = _source(x)
+        with pytest.raises(ValueError):
+            MwemPlan(Prefix(32)).run(source, 1.0)
+
+    def test_uniform_grid_rejects_bad_shape(self):
+        x = np.ones(64)
+        source = _source(x)
+        with pytest.raises(ValueError):
+            UniformGridPlan((5, 5)).run(source, 1.0)
+
+    def test_plan_with_zero_epsilon_rejected(self):
+        x = np.ones(16)
+        source = _source(x)
+        with pytest.raises(ValueError):
+            IdentityPlan().run(source, 0.0)
+
+
+class TestSmallDomains:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_identity_and_uniform_on_tiny_domains(self, n):
+        x = np.arange(n, dtype=float) + 1.0
+        for plan in [IdentityPlan(), UniformPlan()]:
+            source = _source(x, epsilon=10.0, seed=1)
+            result = plan.run(source, 10.0)
+            assert result.x_hat.shape == (n,)
+
+    def test_dawa_on_tiny_domain(self):
+        x = np.array([5.0, 5.0, 50.0, 50.0])
+        source = _source(x, epsilon=5.0, seed=2)
+        result = DawaPlan().run(source, 5.0)
+        assert result.x_hat.shape == (4,)
+
+    def test_ahp_on_all_zero_data(self):
+        x = np.zeros(32)
+        source = _source(x, epsilon=1.0, seed=3)
+        result = AhpPlan().run(source, 1.0)
+        assert np.all(np.isfinite(result.x_hat))
+
+    def test_greedy_h_without_workload(self):
+        x = load_1d("GAUSSIAN", 64, 5000)
+        source = _source(x, epsilon=1.0, seed=4)
+        result = GreedyHPlan().run(source, 1.0)
+        assert result.budget_spent == pytest.approx(1.0)
+
+    def test_mwem_single_round(self):
+        x = load_1d("BIMODAL", 32, 5000)
+        workload = random_range_workload(32, 10, seed=1)
+        source = _source(x, epsilon=0.5, seed=5)
+        result = MwemPlan(workload, rounds=1).run(source, 0.5)
+        assert result.info["rounds"] == 1
+
+
+class TestHdmmWorkloadShapes:
+    def test_union_of_mixed_krons_falls_back_gracefully(self):
+        w = VStack(
+            [
+                Kronecker([Prefix(4), Total(3)]),
+                Kronecker([Identity(4), Identity(3)]),
+            ]
+        )
+        x = np.arange(12, dtype=float)
+        source = _source(x, epsilon=2.0, seed=6)
+        result = HdmmPlan(w).run(source, 2.0)
+        assert result.x_hat.shape == (12,)
+
+    def test_plain_dense_workload(self):
+        rng = np.random.default_rng(0)
+        from repro.matrix import DenseMatrix
+
+        w = DenseMatrix(rng.integers(0, 2, size=(5, 16)).astype(float))
+        x = rng.integers(0, 20, 16).astype(float)
+        source = _source(x, epsilon=2.0, seed=7)
+        result = HdmmPlan(w).run(source, 2.0)
+        assert result.budget_spent == pytest.approx(2.0)
+
+
+class TestInfoDiagnostics:
+    def test_plan_results_carry_diagnostics(self):
+        x = load_1d("PIECEWISE", 64, 10_000)
+        source = _source(x, epsilon=1.0, seed=8)
+        result = AhpPlan().run(source, 1.0)
+        assert "num_groups" in result.info
+        assert 1 <= result.info["num_groups"] <= 64
+
+    def test_adaptive_grid_reports_second_level(self):
+        from repro.plans import AdaptiveGridPlan
+
+        x = load_2d("GAUSS2D", (16, 16), 100_000)
+        source = _source(x, epsilon=1.0, seed=9)
+        result = AdaptiveGridPlan((16, 16)).run(source, 1.0)
+        assert "second_level_blocks" in result.info

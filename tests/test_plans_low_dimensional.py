@@ -1,0 +1,154 @@
+"""Tests for the 1-D and 2-D plans of Fig. 2 (data-independent and data-dependent)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_query_l2_error
+from repro.dataset import load_1d, load_2d
+from repro.plans import (
+    AdaptiveGridPlan,
+    AhpPlan,
+    DawaPlan,
+    GreedyHPlan,
+    H2Plan,
+    HbPlan,
+    HdmmPlan,
+    IdentityPlan,
+    MwemPlan,
+    PriveletPlan,
+    QuadtreePlan,
+    UniformGridPlan,
+    UniformPlan,
+)
+from repro.workload import identity_workload, random_range_workload
+from tests.conftest import make_vector_relation
+
+from repro.private import protect
+
+
+def _source(x, epsilon=1.0, seed=0):
+    return protect(make_vector_relation(x), epsilon, seed=seed).vectorize()
+
+
+@pytest.fixture(scope="module")
+def data_1d():
+    return load_1d("PIECEWISE", n=128, scale=50_000)
+
+
+@pytest.fixture(scope="module")
+def workload_1d():
+    return random_range_workload(128, 30, seed=5)
+
+
+ONE_D_PLANS = [
+    ("Identity", lambda w: IdentityPlan()),
+    ("Uniform", lambda w: UniformPlan()),
+    ("Privelet", lambda w: PriveletPlan()),
+    ("H2", lambda w: H2Plan()),
+    ("HB", lambda w: HbPlan()),
+    ("Greedy-H", lambda w: GreedyHPlan(workload_intervals=w.intervals)),
+    ("HDMM", lambda w: HdmmPlan(w)),
+    ("AHP", lambda w: AhpPlan()),
+    ("DAWA", lambda w: DawaPlan(workload_intervals=w.intervals)),
+    ("MWEM", lambda w: MwemPlan(w, rounds=3)),
+]
+
+
+class TestOneDimensionalPlans:
+    @pytest.mark.parametrize("name,factory", ONE_D_PLANS)
+    def test_runs_and_spends_exact_budget(self, name, factory, data_1d, workload_1d):
+        plan = factory(workload_1d)
+        source = _source(data_1d, epsilon=1.0, seed=3)
+        result = plan.run(source, 1.0)
+        assert result.x_hat.shape == (128,)
+        assert np.all(np.isfinite(result.x_hat))
+        assert result.budget_spent == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name,factory", ONE_D_PLANS)
+    def test_high_epsilon_gives_low_error(self, name, factory, data_1d, workload_1d):
+        # With a huge budget every plan except Uniform should track the data closely.
+        plan = factory(workload_1d)
+        source = _source(data_1d, epsilon=1000.0, seed=4)
+        result = plan.run(source, 1000.0)
+        error = per_query_l2_error(workload_1d, data_1d, result.x_hat)
+        if name in ("Uniform", "MWEM"):
+            # Uniform cannot adapt; MWEM with 3 rounds only answers a few queries.
+            assert error < 0.5
+        else:
+            assert error < 0.01
+
+    def test_identity_answers_are_unbiased(self, data_1d):
+        errors = []
+        for seed in range(5):
+            source = _source(data_1d, epsilon=1.0, seed=seed)
+            result = IdentityPlan().run(source, 1.0)
+            errors.append((result.x_hat - data_1d).mean())
+        assert abs(np.mean(errors)) < 2.0
+
+    def test_dawa_beats_identity_on_uniform_data_small_epsilon(self):
+        # DAWA's partition merges (near-)uniform regions, so on uniform data at
+        # a small budget it reliably beats per-cell Laplace measurements.
+        x = load_1d("UNIFORM", n=256, scale=10_000)
+        workload = random_range_workload(256, 40, seed=2)
+        identity_errors, dawa_errors = [], []
+        for seed in range(4):
+            source = _source(x, epsilon=0.01, seed=seed)
+            identity_errors.append(
+                per_query_l2_error(workload, x, IdentityPlan().run(source, 0.01).x_hat)
+            )
+            source = _source(x, epsilon=0.01, seed=seed + 100)
+            dawa_errors.append(
+                per_query_l2_error(
+                    workload, x, DawaPlan(workload_intervals=workload.intervals).run(source, 0.01).x_hat
+                )
+            )
+        assert np.mean(dawa_errors) < np.mean(identity_errors)
+
+    def test_budget_enforced_across_plans(self, data_1d, workload_1d):
+        source = _source(data_1d, epsilon=1.0, seed=0)
+        IdentityPlan().run(source, 0.6)
+        from repro.private import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError):
+            H2Plan().run(source, 0.6)
+
+    def test_representation_switch_gives_same_estimator_distribution(self, data_1d):
+        # Same kernel seed => identical noise draws => identical results across
+        # representations (they are lossless re-encodings of the same matrix).
+        results = []
+        for representation in ("implicit", "sparse", "dense"):
+            source = _source(data_1d, epsilon=1.0, seed=9)
+            results.append(H2Plan(representation=representation).run(source, 1.0).x_hat)
+        assert np.allclose(results[0], results[1], atol=1e-6)
+        assert np.allclose(results[0], results[2], atol=1e-6)
+
+
+class TestTwoDimensionalPlans:
+    @pytest.fixture(scope="class")
+    def data_2d(self):
+        return load_2d("MIXTURE2D", (16, 16), scale=40_000)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: QuadtreePlan((16, 16)),
+            lambda: UniformGridPlan((16, 16)),
+            lambda: AdaptiveGridPlan((16, 16)),
+        ],
+    )
+    def test_runs_and_spends_exact_budget(self, factory, data_2d):
+        plan = factory()
+        source = _source(data_2d, epsilon=1.0, seed=7)
+        result = plan.run(source, 1.0)
+        assert result.x_hat.shape == (256,)
+        assert result.budget_spent == pytest.approx(1.0, abs=1e-9)
+
+    def test_shape_mismatch_rejected(self, data_2d):
+        source = _source(data_2d, epsilon=1.0, seed=0)
+        with pytest.raises(ValueError):
+            QuadtreePlan((8, 8)).run(source, 1.0)
+
+    def test_quadtree_tracks_totals(self, data_2d):
+        source = _source(data_2d, epsilon=10.0, seed=8)
+        result = QuadtreePlan((16, 16)).run(source, 10.0)
+        assert np.isclose(result.x_hat.sum(), data_2d.sum(), rtol=0.05)

@@ -1,0 +1,132 @@
+"""Statistical end-to-end checks of the differential-privacy machinery.
+
+These tests do not prove privacy (the proof is Theorem 4.1); they check the
+measurable consequences the implementation is responsible for:
+
+* the Laplace noise scale actually used matches sensitivity / epsilon,
+* budget accounting matches the sequential / parallel composition rules on
+  plan-shaped workflows,
+* the noise injected for a given seed is independent of the data (a necessary
+  condition for the output-perturbation mechanism to be correct),
+* neighbouring datasets produce output distributions whose empirical ratio is
+  bounded roughly by exp(epsilon) on a coarse event (a smoke test, not a proof).
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrix import Identity, Total
+from repro.private import protect
+from tests.conftest import make_vector_relation
+
+
+class TestNoiseCalibration:
+    def test_noise_scale_matches_sensitivity_over_epsilon(self):
+        x = np.full(64, 100.0)
+        epsilon = 0.5
+        samples = []
+        for seed in range(200):
+            source = protect(make_vector_relation(x), epsilon, seed=seed).vectorize()
+            noisy = source.vector_laplace(Total(64), epsilon)
+            samples.append(noisy[0] - x.sum())
+        # Laplace(b) has standard deviation b * sqrt(2); here b = 1 / 0.5 = 2.
+        empirical_std = np.std(samples)
+        assert 0.7 * 2 * np.sqrt(2) < empirical_std < 1.4 * 2 * np.sqrt(2)
+
+    def test_noise_is_data_independent_given_seed(self):
+        epsilon = 1.0
+        x1 = np.arange(32.0)
+        x2 = np.arange(32.0)[::-1].copy()
+        noise1 = (
+            protect(make_vector_relation(x1), epsilon, seed=3)
+            .vectorize()
+            .vector_laplace(Identity(32), epsilon)
+            - x1
+        )
+        noise2 = (
+            protect(make_vector_relation(x2), epsilon, seed=3)
+            .vectorize()
+            .vector_laplace(Identity(32), epsilon)
+            - x2
+        )
+        assert np.allclose(noise1, noise2)
+
+    def test_higher_sensitivity_queries_get_more_noise(self):
+        x = np.full(32, 50.0)
+        epsilon = 1.0
+        total_spread = []
+        prefix_spread = []
+        for seed in range(100):
+            source = protect(make_vector_relation(x), 10.0, seed=seed).vectorize()
+            total_spread.append(source.vector_laplace(Total(32), epsilon)[0] - x.sum())
+            from repro.matrix import Prefix
+
+            source2 = protect(make_vector_relation(x), 10.0, seed=seed + 1000).vectorize()
+            prefix_spread.append(source2.vector_laplace(Prefix(32), epsilon)[0] - x[0])
+        # Prefix has sensitivity 32, Total has sensitivity 1.
+        assert np.std(prefix_spread) > 5 * np.std(total_spread)
+
+
+class TestCompositionAccounting:
+    def test_sequential_composition_of_plan_steps(self):
+        x = np.arange(64.0)
+        source = protect(make_vector_relation(x), 1.0, seed=0).vectorize()
+        source.vector_laplace(Identity(64), 0.3)
+        source.vector_laplace(Total(64), 0.2)
+        source.vector_laplace(Identity(64), 0.5)
+        assert source.budget_consumed() == pytest.approx(1.0)
+
+    def test_parallel_composition_of_stripes(self):
+        from repro.operators.partition import stripe_partition
+
+        domain = (8, 4)
+        x = np.arange(32.0)
+        source = protect(make_vector_relation(x), 1.0, seed=0).vectorize()
+        partition = stripe_partition(domain, stripe_axis=0)
+        stripes = source.split_by_partition(partition)
+        assert len(stripes) == 4
+        for stripe in stripes:
+            stripe.vector_laplace(Identity(stripe.domain_size), 1.0)
+        assert source.budget_consumed() == pytest.approx(1.0)
+
+    def test_mixed_sequential_and_parallel(self):
+        from repro.matrix import ReductionMatrix
+
+        x = np.arange(24.0)
+        source = protect(make_vector_relation(x), 1.0, seed=0).vectorize()
+        source.vector_laplace(Total(24), 0.25)
+        pieces = source.split_by_partition(ReductionMatrix(np.arange(24) % 2))
+        for piece in pieces:
+            piece.vector_laplace(Identity(piece.domain_size), 0.5)
+        assert source.budget_consumed() == pytest.approx(0.75)
+
+
+class TestNeighbourSmokeTest:
+    def test_output_distribution_ratio_is_bounded(self):
+        """Empirical ratio of a coarse output event across neighbours <= ~exp(eps)."""
+        epsilon = 1.0
+        base = np.zeros(8)
+        base[0] = 10.0
+        neighbour = base.copy()
+        neighbour[0] = 11.0  # one extra record in cell 0
+
+        threshold = 10.5
+        trials = 4000
+        hits_base = 0
+        hits_neighbour = 0
+        for seed in range(trials):
+            noisy_base = (
+                protect(make_vector_relation(base), epsilon, seed=seed)
+                .vectorize()
+                .vector_laplace(Total(8), epsilon)[0]
+            )
+            noisy_neighbour = (
+                protect(make_vector_relation(neighbour), epsilon, seed=seed + trials)
+                .vectorize()
+                .vector_laplace(Total(8), epsilon)[0]
+            )
+            hits_base += noisy_base > threshold
+            hits_neighbour += noisy_neighbour > threshold
+        ratio = (hits_neighbour + 1) / (hits_base + 1)
+        # exp(1) ~ 2.72; allow generous sampling slack.
+        assert ratio < np.exp(epsilon) * 1.5

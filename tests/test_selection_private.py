@@ -1,0 +1,117 @@
+"""Unit tests for the Private→Public selection operators (WorstApprox, PrivBayes)."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import RangeQueries
+from repro.operators.selection.privbayes import (
+    mutual_information_score,
+    privbayes_select,
+    privbayes_synthetic_distribution,
+)
+from repro.operators.selection.worst_approx import augment_with_hierarchy, worst_approximated
+from tests.conftest import make_vector_relation
+
+from repro.dataset import Attribute, Relation, Schema
+from repro.private import protect
+
+
+class TestWorstApproximated:
+    def _source(self, x, epsilon=100.0, seed=0):
+        relation = make_vector_relation(np.asarray(x, dtype=float))
+        return protect(relation, epsilon, seed=seed).vectorize()
+
+    def test_selects_badly_approximated_query(self):
+        x = np.zeros(16)
+        x[0:4] = 100.0
+        workload = RangeQueries(16, [(0, 3), (8, 11)])
+        estimate = np.zeros(16)  # query 0 is badly approximated, query 1 perfectly
+        source = self._source(x, epsilon=100.0)
+        index, row = worst_approximated(source, workload, estimate, epsilon=50.0)
+        assert index == 0
+        assert np.allclose(row, workload.row(0))
+
+    def test_consumes_budget(self):
+        x = np.ones(8)
+        workload = RangeQueries(8, [(0, 3), (4, 7)])
+        source = self._source(x, epsilon=1.0)
+        worst_approximated(source, workload, np.zeros(8), epsilon=0.25)
+        assert source.budget_consumed() == pytest.approx(0.25)
+
+    def test_augmentation_is_disjoint_from_selected(self):
+        row = np.zeros(16)
+        row[4:8] = 1.0
+        augmented = augment_with_hierarchy(row, round_index=1, n=16)
+        dense = augmented.dense()
+        # First row is the selected query; other rows never overlap its support.
+        assert np.allclose(dense[0], row)
+        for other in dense[1:]:
+            assert np.all(other[4:8] == 0)
+        # Disjointness keeps the sensitivity at 1.
+        assert augmented.sensitivity() == 1.0
+
+    def test_augmentation_interval_length_grows_with_round(self):
+        row = np.zeros(16)
+        row[0] = 1.0
+        early = augment_with_hierarchy(row, round_index=0, n=16)
+        late = augment_with_hierarchy(row, round_index=3, n=16)
+        assert early.shape[0] > late.shape[0]
+
+
+class TestPrivBayes:
+    def _census_like(self, seed=0):
+        schema = Schema.build([Attribute("a", 3), Attribute("b", 3), Attribute("c", 2)])
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 3, 4000)
+        b = (a + rng.integers(0, 2, 4000)) % 3  # b strongly depends on a
+        c = rng.integers(0, 2, 4000)
+        return Relation.from_columns(schema, {"a": a, "b": b, "c": c})
+
+    def test_mutual_information_detects_dependence(self):
+        relation = self._census_like()
+        x = relation.vectorize()
+        domain = relation.schema.domain
+        mi_dependent = mutual_information_score(x, domain, 1, [0])  # b vs a
+        mi_independent = mutual_information_score(x, domain, 2, [0])  # c vs a
+        assert mi_dependent > mi_independent + 0.1
+
+    def test_empty_parent_set_scores_zero(self):
+        relation = self._census_like()
+        x = relation.vectorize()
+        assert mutual_information_score(x, relation.schema.domain, 1, []) == 0.0
+
+    def test_select_returns_valid_network_and_measurements(self):
+        relation = self._census_like()
+        source = protect(relation, 10.0, seed=1).vectorize()
+        measurements, network = privbayes_select(
+            source, relation.schema.domain, epsilon=5.0, total_records=4000.0, seed=0
+        )
+        assert len(network) == 3
+        attributes = [attr for attr, _ in network]
+        assert sorted(attributes) == [0, 1, 2]
+        # Parents always precede their child in the construction order.
+        seen = set()
+        for attribute, parents in network:
+            assert set(parents) <= seen
+            seen.add(attribute)
+        assert measurements.shape[1] == relation.schema.domain_size
+        assert source.budget_consumed() <= 5.0 + 1e-9
+
+    def test_synthetic_distribution_is_probability_vector(self):
+        relation = self._census_like()
+        domain = relation.schema.domain
+        x = relation.vectorize()
+        network = [(0, ()), (1, (0,)), (2, (0,))]
+        estimates = {}
+        for attribute, parents in network:
+            keep = (attribute, *parents)
+            tensor = x.reshape(domain)
+            drop = tuple(a for a in range(len(domain)) if a not in keep)
+            table = tensor.sum(axis=drop)
+            estimates[keep] = table.ravel()
+        distribution = privbayes_synthetic_distribution(network, estimates, domain)
+        assert np.isclose(distribution.sum(), 1.0)
+        assert np.all(distribution >= 0)
+        # With exact marginals the factorised joint should resemble the truth.
+        truth = x / x.sum()
+        assert np.abs(distribution - truth).sum() < 0.5
