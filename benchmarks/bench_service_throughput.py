@@ -1,0 +1,152 @@
+"""Service-layer throughput: requests/second, cached vs. uncached, 1-8 workers.
+
+Measures the `repro.service` scheduler answering a prefix-workload request
+with the Identity plan across a pool of tenant sessions:
+
+* **uncached** — every request executes its plan against the kernel
+  (``reuse=False``); requests on the same session serialise on its lock, so
+  scaling comes from spreading tenants across workers;
+* **cached** — the same request repeated, answered from the measurement cache
+  with zero budget spent.
+
+Run:  python benchmarks/bench_service_throughput.py [--domain N] [--requests M]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.service import PlanScheduler, QueryRequest, SessionManager
+
+try:
+    from .conftest import vector_relation
+except ImportError:  # pragma: no cover
+    from conftest import vector_relation
+
+
+def build_service(num_sessions: int, domain: int, seed: int = 0):
+    """A manager with ``num_sessions`` tenant sessions over random histograms."""
+    rng = np.random.default_rng(seed)
+    manager = SessionManager()
+    for index in range(num_sessions):
+        manager.create_session(
+            f"tenant{index}",
+            vector_relation(rng.integers(0, 100, size=domain).astype(np.float64)),
+            epsilon_total=10_000.0,
+            seed=index,
+        )
+    return manager
+
+
+def make_requests(manager, num_requests: int, domain: int, reuse: bool):
+    """Round-robin identity/prefix requests across the service's sessions."""
+    sessions = manager.sessions()
+    return [
+        QueryRequest(
+            sessions[index % len(sessions)].session_id,
+            plan="Identity",
+            epsilon=0.01,
+            workload="prefix",
+            workload_params={"n": domain},
+            reuse=reuse,
+        )
+        for index in range(num_requests)
+    ]
+
+
+def run_experiment(
+    domain: int = 1024,
+    num_requests: int = 64,
+    num_sessions: int = 8,
+    workers: tuple[int, ...] = (1, 2, 4, 8),
+):
+    """Rows of (workers, uncached req/s, cached req/s, speedup of caching)."""
+    rows = []
+    for num_workers in workers:
+        manager = build_service(num_sessions, domain)
+        scheduler = PlanScheduler(manager, max_workers=num_workers)
+
+        fresh = make_requests(manager, num_requests, domain, reuse=False)
+        start = time.perf_counter()
+        scheduler.execute_batch(fresh)
+        uncached_seconds = time.perf_counter() - start
+
+        # Warm the cache with one canonical request per session, then replay.
+        warm = make_requests(manager, num_sessions, domain, reuse=True)
+        scheduler.execute_batch(warm)
+        repeats = make_requests(manager, num_requests, domain, reuse=True)
+        start = time.perf_counter()
+        responses = scheduler.execute_batch(repeats)
+        cached_seconds = time.perf_counter() - start
+        assert all(response.cached for response in responses)
+
+        rows.append(
+            {
+                "workers": num_workers,
+                "uncached_rps": num_requests / uncached_seconds,
+                "cached_rps": num_requests / cached_seconds,
+                "cache_speedup": uncached_seconds / max(cached_seconds, 1e-12),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domain", type=int, default=1024)
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--sessions", type=int, default=8)
+    args = parser.parse_args()
+    rows = run_experiment(args.domain, args.requests, args.sessions)
+    print(
+        f"\nService throughput — {args.requests} requests over {args.sessions} "
+        f"sessions, domain {args.domain}\n"
+    )
+    print(
+        format_table(
+            ["workers", "uncached req/s", "cached req/s", "cache speedup"],
+            [
+                [r["workers"], r["uncached_rps"], r["cached_rps"], r["cache_speedup"]]
+                for r in rows
+            ],
+        )
+    )
+
+
+# ----------------------------------------------------------------------------
+# pytest-benchmark entry points.
+# ----------------------------------------------------------------------------
+def test_benchmark_uncached_throughput(benchmark):
+    manager = build_service(4, 512)
+    scheduler = PlanScheduler(manager, max_workers=4)
+    benchmark(
+        lambda: scheduler.execute_batch(make_requests(manager, 16, 512, reuse=False))
+    )
+
+
+def test_benchmark_cached_throughput(benchmark):
+    manager = build_service(4, 512)
+    scheduler = PlanScheduler(manager, max_workers=4)
+    scheduler.execute_batch(make_requests(manager, 4, 512, reuse=True))
+    benchmark(
+        lambda: scheduler.execute_batch(make_requests(manager, 16, 512, reuse=True))
+    )
+
+
+def test_cached_path_spends_no_budget():
+    """Qualitative claim: replayed requests are budget-free and much faster."""
+    manager = build_service(2, 256)
+    scheduler = PlanScheduler(manager, max_workers=2)
+    scheduler.execute_batch(make_requests(manager, 2, 256, reuse=True))
+    consumed = [session.budget_consumed() for session in manager.sessions()]
+    responses = scheduler.execute_batch(make_requests(manager, 8, 256, reuse=True))
+    assert all(response.cached for response in responses)
+    assert [session.budget_consumed() for session in manager.sessions()] == consumed
+
+
+if __name__ == "__main__":
+    main()

@@ -24,7 +24,8 @@ Subpackages
 ``repro.private``   protected kernel, stability and budget accounting (Sec. 4)
 ``repro.operators`` the operator library (Sec. 5)
 ``repro.plans``     the plan library (Fig. 2 + case studies, Secs. 6 and 9)
-``repro.workload``  workload builders
+``repro.workload``  workload builders (with named registry + cache keys)
+``repro.service``   multi-tenant query service: sessions, scheduling, caching
 ``repro.analysis``  error metrics, Naive Bayes / AUC utilities, harness helpers
 """
 

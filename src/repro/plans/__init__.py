@@ -23,7 +23,15 @@ from .naive_bayes import (
     nb_workload_ls,
 )
 from .privbayes import PrivBayesLsPlan, PrivBayesPlan
-from .registry import PLAN_TABLE, PLANS_BY_ID, PLANS_BY_NAME, get_plan, plan_signatures
+from .registry import (
+    PLAN_TABLE,
+    PLANS_BY_ID,
+    PLANS_BY_NAME,
+    available_plans,
+    get_plan,
+    make_plan,
+    plan_signatures,
+)
 from .striped import DawaStripedPlan, HbStripedKronPlan, HbStripedPlan
 
 __all__ = [
@@ -60,6 +68,8 @@ __all__ = [
     "PLAN_TABLE",
     "PLANS_BY_NAME",
     "PLANS_BY_ID",
+    "available_plans",
     "get_plan",
+    "make_plan",
     "plan_signatures",
 ]

@@ -82,6 +82,7 @@ class Plan(ABC):
     ) -> PlanResult:
         """Build a :class:`PlanResult`, computing the budget actually spent."""
         spent = source.budget_consumed() - before
+        info.setdefault("seed", source.kernel.seed)
         return PlanResult(np.asarray(x_hat, dtype=np.float64), budget_spent=spent, info=info)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -8,10 +8,11 @@ from .exceptions import (
     PrivacyError,
     UnknownSourceError,
 )
-from .kernel import MeasurementRecord, ProtectedKernel
+from .kernel import BudgetSnapshot, MeasurementRecord, ProtectedKernel
 from .protected import ProtectedDataSource, protect
 
 __all__ = [
+    "BudgetSnapshot",
     "BudgetAudit",
     "SourceReport",
     "audit",

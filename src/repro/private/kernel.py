@@ -46,6 +46,21 @@ class MeasurementRecord:
     num_queries: int
 
 
+@dataclass(frozen=True)
+class BudgetSnapshot:
+    """Point-in-time view of the kernel's budget and history counters.
+
+    Used by the service layer to bracket a plan execution: the difference of
+    two snapshots gives the budget spent and the history records produced by
+    exactly that execution, even when other plans ran before it.
+    """
+
+    epsilon_total: float
+    consumed: float
+    remaining: float
+    num_measurements: int
+
+
 @dataclass
 class _Source:
     """Internal storage of a data source (table or vector)."""
@@ -64,6 +79,7 @@ class ProtectedKernel:
         self._sources: dict[str, _Source] = {
             "root": _Source("root", table, "table", {"schema": table.schema})
         }
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._history: list[MeasurementRecord] = []
         self._counter = itertools.count(1)
@@ -105,9 +121,54 @@ class ProtectedKernel:
     def budget_remaining(self) -> float:
         return self._budget.remaining()
 
+    @property
+    def seed(self) -> int | None:
+        """Seed of the noise generator (set at construction or via :meth:`reseed`)."""
+        return self._seed
+
+    def reseed(self, seed: int | None) -> None:
+        """Reset the noise generator to a known seed.
+
+        This is a service-layer hook for reproducible responses: the scheduler
+        derives a distinct seed per request and reseeds before executing the
+        plan, so the same request always yields the same noisy answer.  Never
+        reseed with the same value before *different* measurements — replaying
+        noise across distinct queries voids the privacy guarantee.
+        """
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
     def history(self) -> list[MeasurementRecord]:
         """A copy of the measurement history (public: contains no raw data)."""
         return list(self._history)
+
+    def history_query(
+        self,
+        source: str | None = None,
+        operator: str | None = None,
+        since: int = 0,
+    ) -> list[MeasurementRecord]:
+        """Filtered view of the measurement history.
+
+        ``since`` restricts to records appended at index >= ``since`` (pair it
+        with :meth:`budget_snapshot` to isolate one plan execution); ``source``
+        and ``operator`` filter by the record's fields.
+        """
+        records = self._history[since:]
+        if source is not None:
+            records = [record for record in records if record.source == source]
+        if operator is not None:
+            records = [record for record in records if record.operator == operator]
+        return list(records)
+
+    def budget_snapshot(self) -> BudgetSnapshot:
+        """Atomic view of the budget counters and history length."""
+        return BudgetSnapshot(
+            epsilon_total=self._budget.epsilon_total,
+            consumed=self._budget.consumed(),
+            remaining=self._budget.remaining(),
+            num_measurements=len(self._history),
+        )
 
     def source_kind(self, name: str) -> str:
         return self._get(name).kind

@@ -1,0 +1,55 @@
+"""Multi-tenant DP query service on top of the protected kernel (EKTELO Sec. 4).
+
+The paper's architecture separates vetted client-side plans from the kernel
+that enforces privacy; this package adds the layer a production deployment
+needs between the two — sessions, scheduling, caching and auditing:
+
+* :class:`SessionManager` / :class:`Session` — per-tenant kernels, each with
+  its own epsilon ledger, lock and audit trail;
+* :class:`QueryRequest` / :class:`QueryResponse` — the data-free wire API;
+* :class:`PlanScheduler` — synchronous or thread-pooled execution of plans
+  from the registry, with deterministic per-request noise seeding;
+* :class:`MeasurementCache` — budget-free replay of already-released answers
+  (post-processing), indexed against the kernel's query history;
+* :class:`ArtifactCache` — shared cache of data-independent constructions
+  (workload matrices and friends);
+* :mod:`~repro.service.export` — structured audit export and ledger
+  reconciliation built on :mod:`repro.private.audit`.
+
+Typical usage::
+
+    from repro.dataset import small_census
+    from repro.service import PlanScheduler, QueryRequest, SessionManager
+
+    manager = SessionManager()
+    session = manager.create_session("acme", small_census(), epsilon_total=1.0)
+    scheduler = PlanScheduler(manager)
+    response = scheduler.execute(
+        QueryRequest(session.session_id, plan="Identity", epsilon=0.1,
+                     workload="prefix", workload_params={"n": 50})
+    )
+"""
+
+from .api import QueryRequest, QueryResponse
+from .artifact_cache import ArtifactCache
+from .export import export_json, reconcile, service_report, session_report
+from .measurement_cache import CachedAnswer, MeasurementCache
+from .scheduler import PlanScheduler, derive_request_seed
+from .session import Session, SessionEvent, SessionManager
+
+__all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "Session",
+    "SessionEvent",
+    "SessionManager",
+    "PlanScheduler",
+    "derive_request_seed",
+    "MeasurementCache",
+    "CachedAnswer",
+    "ArtifactCache",
+    "session_report",
+    "service_report",
+    "reconcile",
+    "export_json",
+]

@@ -1,0 +1,96 @@
+"""Request/response API of the query service.
+
+A :class:`QueryRequest` names everything needed to answer a workload under a
+session's budget — the plan (by registry name), its parameters, the workload
+(by builder name), and the privacy budget to spend — without ever carrying
+private data.  A :class:`QueryResponse` carries the noisy estimate, the
+workload answers, and the accounting the client needs to reconcile its own
+ledger against the service's audit export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..workload.builders import _freeze, workload_cache_key
+
+
+@dataclass
+class QueryRequest:
+    """One unit of work submitted to the :class:`~repro.service.PlanScheduler`.
+
+    ``reuse`` opts into the measurement cache: when an identical request has
+    already been answered for the same session, the prior noisy answer is
+    returned without spending any further budget (post-processing of an
+    already-released measurement).  ``request_id`` may be supplied by the
+    client for end-to-end tracing; otherwise the session assigns a sequential
+    one, which also pins down the deterministic per-request noise seed.
+    """
+
+    session_id: str
+    plan: str
+    epsilon: float
+    plan_params: Mapping[str, object] = field(default_factory=dict)
+    workload: str | None = None
+    workload_params: Mapping[str, object] = field(default_factory=dict)
+    request_id: str | None = None
+    reuse: bool = True
+    tag: str = ""
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of the *answer* this request asks for.
+
+        Two requests with equal keys (within one session) ask for the same
+        noisy release: same plan, same parameters, same workload, same budget.
+        The request id and tag are deliberately excluded.
+        """
+        workload_part = (
+            workload_cache_key(self.workload, self.workload_params)
+            if self.workload is not None
+            else None
+        )
+        return (
+            "query",
+            self.plan,
+            _freeze(dict(self.plan_params)),
+            workload_part,
+            float(self.epsilon),
+        )
+
+
+@dataclass
+class QueryResponse:
+    """Outcome of one scheduled request.
+
+    ``epsilon_spent`` is the exact root-level budget delta the execution
+    caused on the session's kernel — zero for cache hits.  ``seed`` is the
+    noise seed the kernel used, so any response can be reproduced offline.
+
+    .. warning:: Disclosing the seed assumes the recipient is trusted (the
+       analyst/operator reproducibility story this reproduction targets):
+       whoever holds it can regenerate the Laplace draws and subtract the
+       noise.  A deployment serving untrusted clients must strip ``seed``
+       (and ``info["seed"]``) at the wire boundary and keep it in the
+       server-side audit trail only.
+    """
+
+    request_id: str
+    session_id: str
+    plan: str
+    epsilon_requested: float
+    epsilon_spent: float
+    x_hat: np.ndarray
+    answers: np.ndarray | None
+    cached: bool
+    seed: int | None
+    info: dict
+    elapsed_seconds: float
+
+    @property
+    def payload(self) -> np.ndarray:
+        """What the client usually wants: workload answers if a workload was
+        named, otherwise the full data-vector estimate."""
+        return self.answers if self.answers is not None else self.x_hat

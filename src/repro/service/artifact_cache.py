@@ -1,0 +1,75 @@
+"""Cache of data-independent construction artifacts.
+
+Workload matrices, measurement strategies and workload reductions depend only
+on public parameters (domain sizes, query counts, seeds), never on private
+data — so they are safe to share across sessions and tenants.  Building them
+is often the dominant cost of a request on small domains; this cache keys
+them by the canonical hashable keys from
+:func:`repro.workload.builders.workload_cache_key` (or any caller-provided
+hashable key) and rebuilds only on first use.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Mapping, TypeVar
+
+from ..matrix import LinearQueryMatrix
+from ..workload.builders import build_workload, workload_cache_key
+
+T = TypeVar("T")
+
+
+class ArtifactCache:
+    """Thread-safe map from hashable keys to data-independent artifacts."""
+
+    def __init__(self, max_entries: int | None = None):
+        self._entries: dict[Hashable, object] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
+        """Return the cached artifact for ``key``, building it on a miss.
+
+        The builder runs outside the lock (constructions can be slow and must
+        not serialise unrelated requests); on a build race the first stored
+        artifact wins so every caller sees one canonical object.
+        """
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key]  # type: ignore[return-value]
+            self.misses += 1
+        artifact = builder()
+        with self._lock:
+            stored = self._entries.setdefault(key, artifact)
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                # Drop the oldest insertion (dict preserves insertion order).
+                self._entries.pop(next(iter(self._entries)))
+        return stored  # type: ignore[return-value]
+
+    def workload(
+        self, name: str, params: Mapping[str, object] | None = None
+    ) -> LinearQueryMatrix:
+        """Convenience: cached construction of a registry workload."""
+        key = workload_cache_key(name, params)
+        return self.get_or_build(key, lambda: build_workload(name, params))
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,103 @@
+"""Structured audit export of sessions and the whole service.
+
+Serialises a session's audit trail — the per-request
+:class:`~repro.service.session.SessionEvent` ledger plus the kernel's
+source-level :class:`~repro.private.audit.BudgetAudit` — into plain
+JSON-ready dictionaries, and reconciles the two accountings: the sum of
+``epsilon_spent`` over the service's events must equal the kernel's own
+``budget_consumed()`` exactly, or something double-charged or leaked.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict
+
+from ..private.audit import audit_kernel
+from .session import Session, SessionManager
+
+#: Tolerance used when comparing two float ledgers that should be identical.
+RECONCILE_TOLERANCE = 1e-9
+
+
+def session_report(session: Session) -> dict:
+    """JSON-ready accounting of one session.
+
+    Combines the service-level event ledger with the kernel-level audit from
+    :func:`repro.private.audit.audit_kernel`, so a practitioner can trace any
+    request down to the measurement records that paid for it.
+    """
+    with session.lock:  # consistent view while requests may be in flight
+        return _session_report_locked(session)
+
+
+def _session_report_locked(session: Session) -> dict:
+    audit = audit_kernel(session.kernel)
+    return {
+        "session_id": session.session_id,
+        "tenant": session.tenant,
+        "closed": session.closed,
+        "epsilon_total": session.epsilon_total,
+        "budget_consumed": session.budget_consumed(),
+        "budget_remaining": session.budget_remaining(),
+        "num_requests": len(session.events),
+        "num_cached": sum(1 for event in session.events if event.cached),
+        "events": [asdict(event) for event in session.events],
+        "kernel_audit": {
+            "epsilon_total": audit.epsilon_total,
+            "consumed_at_root": audit.consumed_at_root,
+            "remaining": audit.remaining,
+            "num_measurements": audit.num_measurements,
+            "sources": [asdict(source) for source in audit.sources],
+        },
+    }
+
+
+def reconcile(session: Session) -> dict:
+    """Check the service ledger against the kernel ledger.
+
+    Returns a report with ``exact`` True iff the sum of the events'
+    ``epsilon_spent`` equals the kernel's root-level consumption (within
+    float tolerance) *and* every measurement record is claimed by exactly one
+    non-cached event's history span.
+    """
+    with session.lock:  # events and kernel counters must be read atomically
+        events = list(session.events)
+        kernel_total = session.budget_consumed()
+        num_records = len(session.kernel.history())
+    service_total = math.fsum(event.epsilon_spent for event in events)
+    claimed = []
+    for event in events:
+        if not event.cached:
+            claimed.extend(range(event.history_start, event.history_end))
+    spans_exact = sorted(claimed) == list(range(num_records))
+    return {
+        "session_id": session.session_id,
+        "service_epsilon": service_total,
+        "kernel_epsilon": kernel_total,
+        "difference": service_total - kernel_total,
+        "history_records": num_records,
+        "history_claimed": len(claimed),
+        "exact": abs(service_total - kernel_total) <= RECONCILE_TOLERANCE and spans_exact,
+    }
+
+
+def service_report(manager: SessionManager) -> dict:
+    """Audit export over every live session of the service."""
+    reports = [session_report(session) for session in manager.sessions()]
+    return {
+        "num_sessions": len(reports),
+        "tenants": sorted({report["tenant"] for report in reports}),
+        "total_epsilon_consumed": math.fsum(r["budget_consumed"] for r in reports),
+        "sessions": reports,
+    }
+
+
+def export_json(session_or_manager: Session | SessionManager, indent: int = 2) -> str:
+    """Serialise a session (or the whole service) report to a JSON string."""
+    if isinstance(session_or_manager, SessionManager):
+        report = service_report(session_or_manager)
+    else:
+        report = session_report(session_or_manager)
+    return json.dumps(report, indent=indent, default=float)

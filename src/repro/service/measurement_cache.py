@@ -1,0 +1,122 @@
+"""Measurement reuse: answer repeated requests from prior noisy releases.
+
+Differential privacy is closed under post-processing: once a noisy answer has
+been released, handing the *same* answer out again costs no additional
+budget.  The kernel's query history records every measurement actually
+answered; this cache indexes completed responses by the request's
+:meth:`~repro.service.api.QueryRequest.cache_key` (scoped per session) and,
+via the recorded history span, stays reconcilable against the kernel — a
+cache entry can always point back at exactly the
+:class:`~repro.private.kernel.MeasurementRecord` rows that paid for it.
+
+Entries are strictly per-session: tenants never see each other's releases.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..private.kernel import MeasurementRecord
+from .api import QueryResponse
+from .session import Session
+
+
+def _frozen_copy(response: QueryResponse) -> QueryResponse:
+    """A deep-enough copy: clients and cache must never share mutable state."""
+    return replace(
+        response,
+        x_hat=np.array(response.x_hat, copy=True),
+        answers=None if response.answers is None else np.array(response.answers, copy=True),
+        info=dict(response.info),
+    )
+
+
+@dataclass
+class CachedAnswer:
+    """A completed response plus the kernel-history span that produced it."""
+
+    response: QueryResponse
+    history_start: int
+    history_end: int
+
+
+class MeasurementCache:
+    """Per-session index of released answers keyed by request identity."""
+
+    def __init__(self):
+        self._entries: dict[tuple, CachedAnswer] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _scoped(session: Session, key: tuple) -> tuple:
+        # The scope token guards against session-id reuse after a close: a
+        # fresh Session under an old id must never see the old releases.
+        return (session.session_id, session.cache_scope) + key
+
+    def lookup(self, session: Session, key: tuple) -> CachedAnswer | None:
+        """The cached answer for ``key`` in this session, if any."""
+        with self._lock:
+            entry = self._entries.get(self._scoped(session, key))
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def store(
+        self,
+        session: Session,
+        key: tuple,
+        response: QueryResponse,
+        history_start: int,
+        history_end: int,
+    ) -> None:
+        """Index a freshly-computed response (cache hits are never re-stored)."""
+        with self._lock:
+            self._entries[self._scoped(session, key)] = CachedAnswer(
+                _frozen_copy(response), history_start, history_end
+            )
+
+    def replay(self, entry: CachedAnswer, request_id: str) -> QueryResponse:
+        """A budget-free copy of a cached response for a new request id."""
+        return replace(
+            _frozen_copy(entry.response),
+            request_id=request_id,
+            epsilon_spent=0.0,
+            cached=True,
+            elapsed_seconds=0.0,
+        )
+
+    def backing_records(self, session: Session, key: tuple) -> list[MeasurementRecord]:
+        """Kernel-history rows that paid for the cached answer (for audits)."""
+        with self._lock:
+            entry = self._entries.get(self._scoped(session, key))
+        if entry is None:
+            return []
+        return session.kernel.history()[entry.history_start : entry.history_end]
+
+    def invalidate_session(self, session: Session) -> int:
+        """Drop every entry of one session (e.g. when it closes)."""
+        with self._lock:
+            stale = [
+                k
+                for k in self._entries
+                if k[0] == session.session_id and k[1] == session.cache_scope
+            ]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,244 @@
+"""Plan scheduling: execute query requests against sessions.
+
+The :class:`PlanScheduler` is the service's execution engine.  For each
+request it (under the session's lock):
+
+1. consults the :class:`~repro.service.measurement_cache.MeasurementCache` —
+   an identical already-answered request is replayed budget-free;
+2. builds the workload through the shared
+   :class:`~repro.service.artifact_cache.ArtifactCache`;
+3. instantiates the plan via the registry's parameterised lookup;
+4. reseeds the session kernel with a seed derived deterministically from
+   (session base seed, request id), so every response is reproducible
+   regardless of scheduling order;
+5. runs the plan, brackets it with kernel budget snapshots, and returns a
+   :class:`~repro.service.api.QueryResponse` whose ``epsilon_spent`` is the
+   exact root-level ledger delta.
+
+``execute_batch`` fans requests out over a :class:`ThreadPoolExecutor`.
+Requests on the *same* session serialise on its lock (sequential composition
+demands it); requests on different sessions genuinely run in parallel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Sequence
+
+from ..plans.registry import make_plan
+from .api import QueryRequest, QueryResponse
+from .artifact_cache import ArtifactCache
+from .measurement_cache import MeasurementCache
+from .session import Session, SessionEvent, SessionManager
+
+
+def derive_request_seed(
+    base_seed: int, session_id: str, request_id: str, query_material: str = ""
+) -> int:
+    """Deterministic 64-bit seed for one request's noise.
+
+    ``query_material`` mixes the query's identity (the request cache key)
+    into the seed, so a client reusing a request id for a *different* query
+    can never replay the same noise stream across distinct measurements —
+    while the same (session, request id, query) triple always reproduces the
+    same response.
+    """
+    material = f"{base_seed}:{session_id}:{request_id}:{query_material}".encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+class PlanScheduler:
+    """Executes :class:`QueryRequest`\\ s synchronously or in batches."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        measurement_cache: MeasurementCache | None = None,
+        artifact_cache: ArtifactCache | None = None,
+        max_workers: int = 4,
+    ):
+        self.manager = manager
+        self.measurement_cache = measurement_cache if measurement_cache is not None else MeasurementCache()
+        self.artifact_cache = artifact_cache if artifact_cache is not None else ArtifactCache()
+        self.max_workers = max_workers
+
+    def close_session(self, session_id: str) -> Session:
+        """Close a session and drop its cached releases.
+
+        Prefer this over :meth:`SessionManager.close` when a scheduler is in
+        play — the manager alone cannot reach the measurement cache, and a
+        long-running service would otherwise accumulate unreachable entries
+        for every closed session.
+        """
+        session = self.manager.close(session_id)
+        self.measurement_cache.invalidate_session(session)
+        return session
+
+    # ------------------------------------------------------------------
+    # Synchronous path.
+    # ------------------------------------------------------------------
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Answer one request, blocking until done."""
+        session = self.manager.get(request.session_id)
+        if request.request_id is None:
+            request = replace(request, request_id=session.next_request_id())
+        with session.lock:
+            return self._execute_locked(session, request)
+
+    def _execute_locked(self, session: Session, request: QueryRequest) -> QueryResponse:
+        start = time.perf_counter()
+        key = request.cache_key()
+
+        if request.reuse:
+            entry = self.measurement_cache.lookup(session, key)
+            if entry is not None:
+                response = self.measurement_cache.replay(entry, request.request_id)
+                session.record(
+                    SessionEvent(
+                        request_id=request.request_id,
+                        plan=request.plan,
+                        workload=request.workload,
+                        epsilon_requested=request.epsilon,
+                        epsilon_spent=0.0,
+                        cached=True,
+                        seed=response.seed,
+                        history_start=entry.history_start,
+                        history_end=entry.history_start,
+                        tag=request.tag,
+                    )
+                )
+                return response
+
+        workload_matrix = (
+            self.artifact_cache.workload(request.workload, request.workload_params)
+            if request.workload is not None
+            else None
+        )
+        plan = make_plan(request.plan, request.plan_params)
+        source = session.vector_source()
+        if workload_matrix is not None and workload_matrix.shape[1] != source.domain_size:
+            # Reject before any budget is spent: a mismatched workload can
+            # only produce garbage answers (or crash after the charge).
+            raise ValueError(
+                f"workload {request.workload!r} has {workload_matrix.shape[1]} columns "
+                f"but session {session.session_id!r} has a {source.domain_size}-cell domain"
+            )
+
+        seed = derive_request_seed(
+            session.base_seed, session.session_id, request.request_id, repr(key)
+        )
+        session.kernel.reseed(seed)
+        before = session.kernel.budget_snapshot()
+        try:
+            result = plan.run(source, request.epsilon)
+            answers = result.answer(workload_matrix) if workload_matrix is not None else None
+        except Exception as exc:
+            # A request can fail after spending part (or all) of its budget —
+            # a multi-measurement plan mid-run, or answer post-processing;
+            # the ledger must still claim that spend (and its history rows)
+            # or the audit would never reconcile again.
+            after = session.kernel.budget_snapshot()
+            session.record(
+                SessionEvent(
+                    request_id=request.request_id,
+                    plan=request.plan,
+                    workload=request.workload,
+                    epsilon_requested=request.epsilon,
+                    epsilon_spent=after.consumed - before.consumed,
+                    cached=False,
+                    seed=seed,
+                    history_start=before.num_measurements,
+                    history_end=after.num_measurements,
+                    tag=request.tag,
+                    error=type(exc).__name__,
+                )
+            )
+            raise
+        after = session.kernel.budget_snapshot()
+        response = QueryResponse(
+            request_id=request.request_id,
+            session_id=session.session_id,
+            plan=request.plan,
+            epsilon_requested=request.epsilon,
+            epsilon_spent=after.consumed - before.consumed,
+            x_hat=result.x_hat,
+            answers=answers,
+            cached=False,
+            seed=seed,
+            info=dict(result.info),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        self.measurement_cache.store(
+            session, key, response, before.num_measurements, after.num_measurements
+        )
+        session.record(
+            SessionEvent(
+                request_id=request.request_id,
+                plan=request.plan,
+                workload=request.workload,
+                epsilon_requested=request.epsilon,
+                epsilon_spent=response.epsilon_spent,
+                cached=False,
+                seed=seed,
+                history_start=before.num_measurements,
+                history_end=after.num_measurements,
+                tag=request.tag,
+            )
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # Batched path.
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        max_workers: int | None = None,
+        return_exceptions: bool = False,
+    ) -> list[QueryResponse | Exception]:
+        """Answer a batch of requests concurrently, preserving input order.
+
+        Request ids (hence noise seeds) are assigned in submission order
+        *before* dispatch, so batch results are reproducible no matter how
+        the pool interleaves execution.  (Exception: two *identical*
+        ``reuse=True`` requests in one batch race for who computes and who
+        replays, so which request id's seed produced the shared answer is
+        scheduling-dependent — the answer itself is released only once
+        either way.)
+
+        Every request runs to completion (and is ledgered) regardless of the
+        others.  With ``return_exceptions=True`` a failed request's slot
+        holds the exception object instead of a response; otherwise the
+        first failure (in input order) is re-raised after the whole batch
+        has finished.
+        """
+        assigned = []
+        for request in requests:
+            if request.request_id is None:
+                session = self.manager.get(request.session_id)
+                request = replace(request, request_id=session.next_request_id())
+            assigned.append(request)
+        if not assigned:
+            return []
+        workers = max_workers if max_workers is not None else self.max_workers
+        with ThreadPoolExecutor(max_workers=max(workers, 1)) as pool:
+            futures = [pool.submit(self._execute_assigned, request) for request in assigned]
+            results: list[QueryResponse | Exception] = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    results.append(exc)
+        if not return_exceptions:
+            for outcome in results:
+                if isinstance(outcome, Exception):
+                    raise outcome
+        return results
+
+    def _execute_assigned(self, request: QueryRequest) -> QueryResponse:
+        session = self.manager.get(request.session_id)
+        with session.lock:
+            return self._execute_locked(session, request)

@@ -1,0 +1,203 @@
+"""Per-tenant sessions and the manager that owns them.
+
+A :class:`Session` is the service-side wrapper around one
+:class:`~repro.private.kernel.ProtectedKernel`: it owns the kernel, the root
+handle, a lazily-vectorised source plans run against, a re-entrant lock that
+serialises all budget-spending work on the kernel, and an append-only audit
+trail of :class:`SessionEvent` records (one per scheduled request).
+
+The :class:`SessionManager` creates and tracks sessions.  Isolation is
+structural: every session has its own kernel, its own budget tracker and its
+own lock, so concurrent work on different sessions can never cross budgets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.relation import Relation
+from ..private.kernel import BudgetSnapshot, MeasurementRecord, ProtectedKernel
+from ..private.protected import ProtectedDataSource
+
+#: Process-wide counter making every Session object distinguishable even when
+#: a session id is reused after a close (cache entries must never cross).
+_CACHE_SCOPES = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One audit-trail entry: what a scheduled request did to the session."""
+
+    request_id: str
+    plan: str
+    workload: str | None
+    epsilon_requested: float
+    epsilon_spent: float
+    cached: bool
+    seed: int | None
+    #: history indices [start, end) of the kernel measurements this request
+    #: produced (an empty span for cache hits).
+    history_start: int
+    history_end: int
+    tag: str = ""
+    #: exception type name when the plan failed mid-execution ("" on success);
+    #: the event still claims whatever budget/history the partial run produced.
+    error: str = ""
+
+
+class Session:
+    """One tenant-facing handle to a protected kernel with its own ledger."""
+
+    def __init__(
+        self,
+        session_id: str,
+        tenant: str,
+        table: Relation,
+        epsilon_total: float,
+        seed: int | None = None,
+    ):
+        self.session_id = session_id
+        self.tenant = tenant
+        #: base seed all per-request seeds are derived from.  When the caller
+        #: does not pin one, it is drawn from OS entropy so an outside
+        #: observer cannot reconstruct (and subtract) the noise from the
+        #: public seed-derivation inputs; pass an explicit seed to make every
+        #: response of the session reproducible.
+        self.base_seed = (
+            int(np.random.SeedSequence().entropy) if seed is None else int(seed)
+        )
+        self.kernel = ProtectedKernel(table, epsilon_total, seed=self.base_seed)
+        #: opaque scope token distinguishing this Session object from any
+        #: earlier one that carried the same session id (cache isolation).
+        self.cache_scope = next(_CACHE_SCOPES)
+        self.lock = threading.RLock()
+        self.events: list[SessionEvent] = []
+        self._root = ProtectedDataSource(self.kernel, "root")
+        self._vector: ProtectedDataSource | None = None
+        self._request_counter = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Handles.
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> ProtectedDataSource:
+        """The root table handle."""
+        return self._root
+
+    def vector_source(self) -> ProtectedDataSource:
+        """The session's vectorised source (built once, then shared).
+
+        Sharing one handle means all measurements compose sequentially on the
+        same lineage — exactly the ledger a tenant expects.
+        """
+        with self.lock:
+            if self._vector is None:
+                self._vector = self._root.vectorize()
+            return self._vector
+
+    # ------------------------------------------------------------------
+    # Accounting.
+    # ------------------------------------------------------------------
+    @property
+    def epsilon_total(self) -> float:
+        return self.kernel.epsilon_total
+
+    def budget_consumed(self) -> float:
+        return self.kernel.budget_consumed()
+
+    def budget_remaining(self) -> float:
+        return self.kernel.budget_remaining()
+
+    def budget_snapshot(self) -> BudgetSnapshot:
+        return self.kernel.budget_snapshot()
+
+    def next_request_id(self) -> str:
+        """Sequential request ids; also the anchor of per-request seeding."""
+        return f"{self.session_id}-r{next(self._request_counter)}"
+
+    def record(self, event: SessionEvent) -> None:
+        with self.lock:
+            self.events.append(event)
+
+    def measurements_for(self, event: SessionEvent) -> list[MeasurementRecord]:
+        """The kernel history records produced by one audit-trail event."""
+        return self.kernel.history()[event.history_start : event.history_end]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session({self.session_id!r}, tenant={self.tenant!r}, "
+            f"consumed={self.budget_consumed():.3g}/{self.epsilon_total:g})"
+        )
+
+
+class SessionManager:
+    """Creates, indexes and closes sessions; the service's tenant directory."""
+
+    def __init__(self):
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    def create_session(
+        self,
+        tenant: str,
+        table: Relation,
+        epsilon_total: float,
+        seed: int | None = None,
+        session_id: str | None = None,
+    ) -> Session:
+        """Open a session for ``tenant`` around a fresh protected kernel."""
+        with self._lock:
+            if session_id is None:
+                session_id = f"{tenant}-s{next(self._counter)}"
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already exists")
+            session = Session(session_id, tenant, table, epsilon_total, seed=seed)
+            self._sessions[session_id] = session
+            return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            if session_id not in self._sessions:
+                raise KeyError(f"unknown session {session_id!r}")
+            return self._sessions[session_id]
+
+    def close(self, session_id: str) -> Session:
+        """Close and drop a session; its kernel (and budget ledger) survives
+        on the returned object for final auditing."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise KeyError(f"unknown session {session_id!r}")
+        session.close()
+        return session
+
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def for_tenant(self, tenant: str) -> list[Session]:
+        return [session for session in self.sessions() if session.tenant == tenant]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._sessions

@@ -1,7 +1,9 @@
 """Workload builders (the query sets plans aim to answer)."""
 
 from .builders import (
+    WORKLOAD_BUILDERS,
     all_range_workload,
+    build_workload,
     census_prefix_income_workload,
     identity_workload,
     marginals_workload,
@@ -9,6 +11,7 @@ from .builders import (
     prefix_workload,
     random_range_workload,
     two_way_marginals_workload,
+    workload_cache_key,
 )
 
 __all__ = [
@@ -20,4 +23,7 @@ __all__ = [
     "census_prefix_income_workload",
     "naive_bayes_workload",
     "marginals_workload",
+    "WORKLOAD_BUILDERS",
+    "build_workload",
+    "workload_cache_key",
 ]

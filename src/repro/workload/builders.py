@@ -13,7 +13,7 @@ are the queries the analyst ultimately cares about.  The evaluation uses:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -111,3 +111,63 @@ def marginals_workload(domain: Sequence[int], groups: Sequence[Sequence[int]]) -
     """Union of the marginals over each listed attribute group."""
     parts = [marginal(domain, keep) for keep in groups]
     return parts[0] if len(parts) == 1 else VStack(parts)
+
+
+# ----------------------------------------------------------------------------
+# Named lookup + hashable cache keys (used by the service layer's
+# ArtifactCache to reuse workload constructions across requests).
+# ----------------------------------------------------------------------------
+
+WORKLOAD_BUILDERS: dict[str, Callable[..., LinearQueryMatrix]] = {
+    "prefix": prefix_workload,
+    "random_range": random_range_workload,
+    "all_range": all_range_workload,
+    "identity": identity_workload,
+    "two_way_marginals": two_way_marginals_workload,
+    "census_prefix_income": census_prefix_income_workload,
+    "naive_bayes": naive_bayes_workload,
+    "marginals": marginals_workload,
+}
+
+
+def _freeze(value):
+    """Canonical hashable form of a builder parameter value."""
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(item)) for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, np.ndarray):
+        return tuple(_freeze(item) for item in value.tolist())
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    try:
+        hash(value)
+    except TypeError:
+        # A repr fallback would silently produce address-bearing, unstable
+        # keys (cache misses + irreproducible seeds); fail loudly instead.
+        raise TypeError(
+            f"cache-key parameter of type {type(value).__name__} is not hashable; "
+            "pass plain data (numbers, strings, lists/tuples/dicts thereof)"
+        ) from None
+    return value
+
+
+def workload_cache_key(name: str, params: Mapping[str, object] | None = None) -> tuple:
+    """Hashable key identifying a workload construction.
+
+    Two calls with the same builder name and (recursively frozen) parameters
+    produce equal keys, so caches can serve the constructed matrix without
+    rebuilding it.
+    """
+    if name not in WORKLOAD_BUILDERS:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOAD_BUILDERS)}")
+    return ("workload", name, _freeze(dict(params or {})))
+
+
+def build_workload(name: str, params: Mapping[str, object] | None = None) -> LinearQueryMatrix:
+    """Construct a workload by registry name with keyword parameters."""
+    if name not in WORKLOAD_BUILDERS:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOAD_BUILDERS)}")
+    return WORKLOAD_BUILDERS[name](**dict(params or {}))

@@ -1,0 +1,565 @@
+"""Tests of the multi-tenant query-service layer (`repro.service`)."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.plans import IdentityPlan, available_plans, make_plan
+from repro.private import BudgetExceededError
+from repro.service import (
+    ArtifactCache,
+    MeasurementCache,
+    PlanScheduler,
+    QueryRequest,
+    SessionManager,
+    derive_request_seed,
+    export_json,
+    reconcile,
+    service_report,
+    session_report,
+)
+from repro.dataset import Attribute, Relation, Schema
+from repro.workload import build_workload, workload_cache_key
+
+N = 64
+
+
+@pytest.fixture
+def relation(small_vector):
+    schema = Schema.build([Attribute("v", len(small_vector))])
+    return Relation.from_histogram(schema, small_vector)
+
+
+@pytest.fixture
+def manager():
+    return SessionManager()
+
+
+@pytest.fixture
+def scheduler(manager):
+    return PlanScheduler(manager, max_workers=4)
+
+
+def open_session(manager, relation, tenant="acme", epsilon_total=4.0, seed=0):
+    return manager.create_session(tenant, relation, epsilon_total, seed=seed)
+
+
+def identity_request(session, epsilon=0.1, **overrides):
+    request = QueryRequest(
+        session.session_id,
+        plan="Identity",
+        epsilon=epsilon,
+        workload="prefix",
+        workload_params={"n": N},
+    )
+    return replace(request, **overrides) if overrides else request
+
+
+# ----------------------------------------------------------------------------
+# Session manager.
+# ----------------------------------------------------------------------------
+class TestSessionManager:
+    def test_create_get_close(self, manager, relation):
+        session = open_session(manager, relation)
+        assert manager.get(session.session_id) is session
+        assert session.session_id in manager
+        assert len(manager) == 1
+        closed = manager.close(session.session_id)
+        assert closed is session and closed.closed
+        assert session.session_id not in manager
+        with pytest.raises(KeyError):
+            manager.get(session.session_id)
+
+    def test_duplicate_session_id_rejected(self, manager, relation):
+        manager.create_session("acme", relation, 1.0, session_id="fixed")
+        with pytest.raises(ValueError):
+            manager.create_session("acme", relation, 1.0, session_id="fixed")
+
+    def test_tenant_listing(self, manager, relation):
+        a1 = open_session(manager, relation, tenant="a")
+        a2 = open_session(manager, relation, tenant="a")
+        b = open_session(manager, relation, tenant="b")
+        assert {s.session_id for s in manager.for_tenant("a")} == {a1.session_id, a2.session_id}
+        assert manager.for_tenant("b") == [b]
+
+    def test_sessions_have_independent_kernels(self, manager, relation):
+        first = open_session(manager, relation, tenant="a", epsilon_total=1.0)
+        second = open_session(manager, relation, tenant="b", epsilon_total=2.0)
+        assert first.kernel is not second.kernel
+        assert first.epsilon_total == 1.0 and second.epsilon_total == 2.0
+
+
+# ----------------------------------------------------------------------------
+# Scheduler basics.
+# ----------------------------------------------------------------------------
+class TestScheduler:
+    def test_execute_spends_exactly_epsilon(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        response = scheduler.execute(identity_request(session, epsilon=0.25))
+        assert response.epsilon_spent == pytest.approx(0.25)
+        assert session.budget_consumed() == pytest.approx(0.25)
+        assert response.x_hat.shape == (N,)
+        assert response.answers.shape == (N,)
+        assert not response.cached
+
+    def test_workload_answers_are_postprocessing(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        response = scheduler.execute(identity_request(session))
+        workload = build_workload("prefix", {"n": N})
+        assert np.allclose(response.answers, workload.matvec(response.x_hat))
+
+    def test_request_without_workload_returns_x_hat_payload(
+        self, manager, scheduler, relation
+    ):
+        session = open_session(manager, relation)
+        response = scheduler.execute(
+            QueryRequest(session.session_id, plan="Identity", epsilon=0.1)
+        )
+        assert response.answers is None
+        assert response.payload is response.x_hat
+
+    def test_unknown_plan_and_session_raise(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        with pytest.raises(KeyError):
+            scheduler.execute(
+                QueryRequest(session.session_id, plan="NoSuchPlan", epsilon=0.1)
+            )
+        with pytest.raises(KeyError):
+            scheduler.execute(QueryRequest("ghost", plan="Identity", epsilon=0.1))
+
+    def test_budget_exhaustion_propagates(self, manager, scheduler, relation):
+        session = open_session(manager, relation, epsilon_total=0.1)
+        with pytest.raises(BudgetExceededError):
+            scheduler.execute(identity_request(session, epsilon=0.5))
+        # The failed request never spent anything.
+        assert session.budget_consumed() == 0.0
+
+    def test_partial_spend_failure_is_ledgered(self, manager, scheduler, relation):
+        """A plan failing after its first measurement still claims that spend."""
+        session = open_session(manager, relation, epsilon_total=0.2)
+        # UniformGrid measures the total with 0.1*eps first, then the grid
+        # with the rest: eps=0.5 charges 0.05, then exceeds the budget.
+        with pytest.raises(BudgetExceededError):
+            scheduler.execute(
+                QueryRequest(
+                    session.session_id,
+                    plan="UniformGrid",
+                    epsilon=0.5,
+                    plan_params={"shape": (8, 8)},
+                )
+            )
+        assert session.budget_consumed() == pytest.approx(0.05)
+        event = session.events[-1]
+        assert event.error == "BudgetExceededError"
+        assert event.epsilon_spent == pytest.approx(0.05)
+        assert reconcile(session)["exact"]
+
+    def test_batch_return_exceptions_keeps_other_responses(
+        self, manager, scheduler, relation
+    ):
+        session = open_session(manager, relation, epsilon_total=0.35)
+        requests = [
+            identity_request(session, epsilon=0.1, reuse=False),
+            identity_request(session, epsilon=0.3, reuse=False),  # exceeds budget
+            identity_request(session, epsilon=0.2, reuse=False),
+        ]
+        results = scheduler.execute_batch(requests, max_workers=1, return_exceptions=True)
+        assert not isinstance(results[0], Exception)
+        assert isinstance(results[1], BudgetExceededError)
+        assert not isinstance(results[2], Exception)
+        assert session.budget_consumed() == pytest.approx(0.3)
+        assert reconcile(session)["exact"]
+        # Without return_exceptions the first failure re-raises, after the
+        # whole batch (and its ledger) has completed.
+        with pytest.raises(BudgetExceededError):
+            scheduler.execute_batch(
+                [identity_request(session, epsilon=0.3, reuse=False)]
+            )
+
+    def test_mismatched_workload_rejected_before_spending(
+        self, manager, scheduler, relation
+    ):
+        session = open_session(manager, relation)
+        with pytest.raises(ValueError, match="columns"):
+            scheduler.execute(
+                identity_request(session, workload_params={"n": N // 2})
+            )
+        assert session.budget_consumed() == 0.0
+        assert session.events == []
+
+    def test_close_session_drops_cache_entries(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session))
+        assert len(scheduler.measurement_cache) == 1
+        closed = scheduler.close_session(session.session_id)
+        assert closed is session and closed.closed
+        assert len(scheduler.measurement_cache) == 0
+
+    def test_batch_preserves_input_order(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        requests = [
+            identity_request(session, epsilon=eps, reuse=False)
+            for eps in (0.1, 0.2, 0.3)
+        ]
+        responses = scheduler.execute_batch(requests)
+        assert [r.epsilon_requested for r in responses] == [0.1, 0.2, 0.3]
+        assert scheduler.execute_batch([]) == []
+
+
+# ----------------------------------------------------------------------------
+# Deterministic seeding.
+# ----------------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_request_id_reproduces_answers(self, relation):
+        outputs = []
+        for _ in range(2):
+            manager = SessionManager()
+            scheduler = PlanScheduler(manager)
+            session = manager.create_session("t", relation, 4.0, seed=5)
+            response = scheduler.execute(
+                identity_request(session, request_id="req-1", reuse=False)
+            )
+            outputs.append(response)
+        assert np.array_equal(outputs[0].x_hat, outputs[1].x_hat)
+        assert outputs[0].seed == outputs[1].seed
+
+    def test_distinct_requests_get_distinct_seeds(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        first = scheduler.execute(identity_request(session, reuse=False))
+        second = scheduler.execute(identity_request(session, reuse=False))
+        assert first.seed != second.seed
+        assert not np.array_equal(first.x_hat, second.x_hat)
+
+    def test_derive_request_seed_is_stable(self):
+        assert derive_request_seed(0, "s", "r") == derive_request_seed(0, "s", "r")
+        assert derive_request_seed(0, "s", "r1") != derive_request_seed(0, "s", "r2")
+        assert derive_request_seed(1, "s", "r") != derive_request_seed(2, "s", "r")
+        assert derive_request_seed(0, "s", "r", "q1") != derive_request_seed(0, "s", "r", "q2")
+
+    def test_same_request_id_different_query_gets_different_noise(
+        self, manager, scheduler, relation
+    ):
+        """Reusing a request id for a different query must not replay noise."""
+        session = open_session(manager, relation)
+        first = scheduler.execute(
+            identity_request(session, epsilon=0.1, request_id="trace-1", reuse=False)
+        )
+        second = scheduler.execute(
+            identity_request(session, epsilon=0.2, request_id="trace-1", reuse=False)
+        )
+        assert first.seed != second.seed
+
+    def test_unseeded_sessions_are_not_reproducible(self, relation):
+        """seed=None draws from OS entropy: responses can't be reconstructed."""
+        outputs = []
+        for _ in range(2):
+            manager = SessionManager()
+            scheduler = PlanScheduler(manager)
+            session = manager.create_session("t", relation, 4.0, seed=None)
+            outputs.append(
+                scheduler.execute(
+                    identity_request(session, request_id="pinned", reuse=False)
+                )
+            )
+        assert outputs[0].seed != outputs[1].seed
+        assert not np.array_equal(outputs[0].x_hat, outputs[1].x_hat)
+
+    def test_batch_is_order_deterministic(self, relation):
+        def run(workers):
+            manager = SessionManager()
+            scheduler = PlanScheduler(manager)
+            session = manager.create_session("t", relation, 4.0, seed=9)
+            requests = [identity_request(session, reuse=False) for _ in range(4)]
+            return scheduler.execute_batch(requests, max_workers=workers)
+
+        serial = run(1)
+        threaded = run(4)
+        for a, b in zip(serial, threaded):
+            assert np.array_equal(a.x_hat, b.x_hat)
+
+    def test_plan_result_info_carries_seed(self, vector_source_factory, small_vector):
+        source = vector_source_factory(small_vector, epsilon=1.0, seed=123)
+        result = IdentityPlan().run(source, 0.5)
+        assert result.info["seed"] == 123
+
+
+# ----------------------------------------------------------------------------
+# Measurement cache.
+# ----------------------------------------------------------------------------
+class TestMeasurementCache:
+    def test_repeat_request_is_budget_free(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        first = scheduler.execute(identity_request(session))
+        consumed = session.budget_consumed()
+        second = scheduler.execute(identity_request(session))
+        assert second.cached and second.epsilon_spent == 0.0
+        assert session.budget_consumed() == consumed
+        assert np.array_equal(first.answers, second.answers)
+        assert second.request_id != first.request_id
+
+    def test_different_epsilon_misses_cache(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session, epsilon=0.1))
+        other = scheduler.execute(identity_request(session, epsilon=0.2))
+        assert not other.cached
+
+    def test_reuse_false_bypasses_cache(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session))
+        fresh = scheduler.execute(identity_request(session, reuse=False))
+        assert not fresh.cached
+        assert session.budget_consumed() == pytest.approx(0.2)
+
+    def test_cache_is_scoped_per_session(self, manager, scheduler, relation):
+        first = open_session(manager, relation, tenant="a")
+        second = open_session(manager, relation, tenant="b")
+        scheduler.execute(identity_request(first))
+        cross = scheduler.execute(identity_request(second))
+        assert not cross.cached
+        assert second.budget_consumed() == pytest.approx(0.1)
+
+    def test_backing_records_reconcile_with_history(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        request = identity_request(session)
+        scheduler.execute(request)
+        records = scheduler.measurement_cache.backing_records(
+            session, request.cache_key()
+        )
+        assert len(records) == 1
+        assert records[0].operator == "VectorLaplace"
+        assert records[0].epsilon == pytest.approx(0.1)
+
+    def test_session_id_reuse_after_close_does_not_leak_cache(
+        self, manager, scheduler, relation, rng
+    ):
+        """A new tenant under a recycled session id must not see old releases."""
+        first = manager.create_session("a", relation, 1.0, seed=0, session_id="fixed")
+        scheduler.execute(identity_request(first))
+        manager.close("fixed")
+        schema = Schema.build([Attribute("v", N)])
+        other_relation = Relation.from_histogram(
+            schema, rng.integers(0, 40, size=N).astype(np.float64)
+        )
+        second = manager.create_session("b", other_relation, 1.0, seed=1, session_id="fixed")
+        response = scheduler.execute(identity_request(second))
+        assert not response.cached
+        assert second.budget_consumed() == pytest.approx(0.1)
+
+    def test_client_mutation_cannot_corrupt_cache(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        first = scheduler.execute(identity_request(session))
+        original = first.x_hat.copy()
+        first.x_hat[:] = -1.0
+        first.answers[:] = -1.0
+        first.info["note"] = "mutated"
+        second = scheduler.execute(identity_request(session))
+        assert second.cached
+        assert np.array_equal(second.x_hat, original)
+        assert "note" not in second.info
+
+    def test_invalidate_session(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session))
+        assert len(scheduler.measurement_cache) == 1
+        dropped = scheduler.measurement_cache.invalidate_session(session)
+        assert dropped == 1 and len(scheduler.measurement_cache) == 0
+
+    def test_stats(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session))
+        scheduler.execute(identity_request(session))
+        stats = scheduler.measurement_cache.stats
+        assert stats["hits"] == 1 and stats["entries"] == 1
+
+
+# ----------------------------------------------------------------------------
+# Artifact cache.
+# ----------------------------------------------------------------------------
+class TestArtifactCache:
+    def test_workload_built_once(self):
+        cache = ArtifactCache()
+        first = cache.workload("prefix", {"n": 32})
+        second = cache.workload("prefix", {"n": 32})
+        assert first is second
+        assert cache.stats == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_key_normalisation_across_param_types(self):
+        assert workload_cache_key("prefix", {"n": np.int64(32)}) == workload_cache_key(
+            "prefix", {"n": 32}
+        )
+        assert workload_cache_key("prefix", {"n": 32}) != workload_cache_key(
+            "prefix", {"n": 64}
+        )
+        with pytest.raises(KeyError):
+            workload_cache_key("nope", {})
+        with pytest.raises(TypeError, match="not hashable"):
+            workload_cache_key("prefix", {"n": {1, 2}})
+
+    def test_max_entries_evicts_oldest(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("c", lambda: 3)
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_scheduler_shares_workload_artifacts_across_sessions(
+        self, manager, scheduler, relation
+    ):
+        first = open_session(manager, relation, tenant="a")
+        second = open_session(manager, relation, tenant="b")
+        scheduler.execute(identity_request(first))
+        scheduler.execute(identity_request(second))
+        assert scheduler.artifact_cache.stats["misses"] == 1
+        assert scheduler.artifact_cache.stats["hits"] == 1
+
+
+# ----------------------------------------------------------------------------
+# Registry / plan parameterisation.
+# ----------------------------------------------------------------------------
+class TestRegistryLookup:
+    def test_make_plan_with_params(self):
+        plan = make_plan("Identity", {"representation": "dense"})
+        assert plan.representation == "dense"
+        with pytest.raises(KeyError):
+            make_plan("NoSuchPlan")
+
+    def test_available_plans_sorted(self):
+        names = available_plans()
+        assert names == sorted(names)
+        assert "Identity" in names and "DAWA" in names
+
+
+# ----------------------------------------------------------------------------
+# Concurrency safety.
+# ----------------------------------------------------------------------------
+class TestConcurrency:
+    def test_parallel_sessions_never_cross_budgets(self, manager, scheduler, relation):
+        """Two tenants hammered in one batch each land exactly on their own ledger."""
+        first = open_session(manager, relation, tenant="a", epsilon_total=2.0)
+        second = open_session(manager, relation, tenant="b", epsilon_total=1.0)
+        requests = []
+        for i in range(10):
+            requests.append(identity_request(first, epsilon=0.1, reuse=False))
+            requests.append(identity_request(second, epsilon=0.05, reuse=False))
+        responses = scheduler.execute_batch(requests, max_workers=8)
+        assert len(responses) == 20
+        assert math.isclose(first.budget_consumed(), 1.0, rel_tol=0, abs_tol=1e-9)
+        assert math.isclose(second.budget_consumed(), 0.5, rel_tol=0, abs_tol=1e-9)
+        assert first.budget_remaining() >= 0 and second.budget_remaining() >= 0
+        # Every response is attributed to the session that paid for it.
+        for response in responses:
+            assert response.session_id in (first.session_id, second.session_id)
+        assert reconcile(first)["exact"] and reconcile(second)["exact"]
+
+    def test_single_session_ledger_exact_under_batching(
+        self, manager, scheduler, relation
+    ):
+        session = open_session(manager, relation, epsilon_total=4.0)
+        requests = [
+            identity_request(session, epsilon=0.05, reuse=False) for _ in range(20)
+        ]
+        responses = scheduler.execute_batch(requests, max_workers=8)
+        # The ledger deltas reported to clients sum exactly to the kernel total.
+        assert math.fsum(r.epsilon_spent for r in responses) == pytest.approx(
+            session.budget_consumed(), abs=1e-12
+        )
+        assert session.budget_consumed() == pytest.approx(1.0, abs=1e-9)
+        assert len(session.events) == 20
+        assert reconcile(session)["exact"]
+
+    def test_concurrent_cached_and_fresh_requests(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session))
+        consumed = session.budget_consumed()
+        repeats = [identity_request(session) for _ in range(12)]
+        responses = scheduler.execute_batch(repeats, max_workers=6)
+        assert all(r.cached and r.epsilon_spent == 0.0 for r in responses)
+        assert session.budget_consumed() == consumed
+
+
+# ----------------------------------------------------------------------------
+# Audit export.
+# ----------------------------------------------------------------------------
+class TestExport:
+    def test_session_report_structure(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session))
+        scheduler.execute(identity_request(session))  # cached
+        report = session_report(session)
+        assert report["num_requests"] == 2 and report["num_cached"] == 1
+        assert report["budget_consumed"] == pytest.approx(0.1)
+        assert report["kernel_audit"]["num_measurements"] == 1
+        assert len(report["events"]) == 2
+        assert report["events"][1]["cached"] is True
+
+    def test_reconcile_exact_after_mixed_traffic(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session, epsilon=0.1))
+        scheduler.execute(identity_request(session, epsilon=0.1))  # cached
+        scheduler.execute(identity_request(session, epsilon=0.3, reuse=False))
+        check = reconcile(session)
+        assert check["exact"]
+        assert check["service_epsilon"] == pytest.approx(session.budget_consumed())
+        assert check["history_claimed"] == check["history_records"] == 2
+
+    def test_service_report_and_json_roundtrip(self, manager, scheduler, relation):
+        first = open_session(manager, relation, tenant="a")
+        second = open_session(manager, relation, tenant="b")
+        scheduler.execute(identity_request(first))
+        scheduler.execute(identity_request(second, epsilon=0.2))
+        report = service_report(manager)
+        assert report["num_sessions"] == 2
+        assert report["tenants"] == ["a", "b"]
+        assert report["total_epsilon_consumed"] == pytest.approx(0.3)
+        parsed = json.loads(export_json(manager))
+        assert parsed["num_sessions"] == 2
+        parsed_session = json.loads(export_json(first))
+        assert parsed_session["session_id"] == first.session_id
+
+    def test_events_point_at_history_records(self, manager, scheduler, relation):
+        session = open_session(manager, relation)
+        scheduler.execute(identity_request(session))
+        event = session.events[0]
+        records = session.measurements_for(event)
+        assert len(records) == 1 and records[0].operator == "VectorLaplace"
+
+
+# ----------------------------------------------------------------------------
+# Kernel hooks backing the service.
+# ----------------------------------------------------------------------------
+class TestKernelHooks:
+    def test_budget_snapshot(self, vector_source_factory, small_vector):
+        source = vector_source_factory(small_vector, epsilon=1.0)
+        kernel = source.kernel
+        before = kernel.budget_snapshot()
+        source.vector_laplace(build_workload("identity", {"domain": N}), 0.25)
+        after = kernel.budget_snapshot()
+        assert before.consumed == 0.0 and before.num_measurements == 0
+        assert after.consumed == pytest.approx(0.25)
+        assert after.num_measurements == 1
+        assert after.remaining == pytest.approx(0.75)
+
+    def test_history_query_filters(self, vector_source_factory, small_vector):
+        source = vector_source_factory(small_vector, epsilon=1.0)
+        kernel = source.kernel
+        source.vector_laplace(build_workload("identity", {"domain": N}), 0.1)
+        source.laplace_scalar(lambda x: float(x.sum()), 1.0, 0.1)
+        assert len(kernel.history_query()) == 2
+        assert len(kernel.history_query(operator="VectorLaplace")) == 1
+        assert len(kernel.history_query(since=1)) == 1
+        assert kernel.history_query(source="nope") == []
+
+    def test_reseed_reproduces_noise(self, vector_source_factory, small_vector):
+        source = vector_source_factory(small_vector, epsilon=2.0)
+        workload = build_workload("identity", {"domain": N})
+        source.kernel.reseed(77)
+        first = source.vector_laplace(workload, 0.1)
+        source.kernel.reseed(77)
+        second = source.vector_laplace(workload, 0.1)
+        assert np.array_equal(first, second)
+        assert source.kernel.seed == 77
