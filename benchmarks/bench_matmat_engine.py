@@ -1,0 +1,288 @@
+"""Benchmark of the vectorized block-matmat engine.
+
+Measures, for structured matrices (Prefix, hierarchical VStack, Kronecker):
+
+* ``dense()`` materialisation — the vectorized blocked-matmat path versus the
+  seed's per-column baseline (``matmat(np.eye(n))`` with one interpreter-level
+  matvec per column of the identity, the old generic fallback at
+  ``matrix/base.py``);
+* block products ``A @ B`` for multi-column ``B`` — matmat versus per-column;
+* inference paths — multiplicative weights over a Kronecker marginal workload
+  (blocked row pre-extraction versus one ``row(i)`` call per query per pass),
+  and warm-cache normal-equations least squares versus per-request LSMR.
+
+Each run appends one trajectory point to ``BENCH_matmat.json`` at the repo
+root, so perf changes across PRs are recorded.  The run fails (non-zero exit)
+if the Kronecker dense-materialisation speedup at the largest measured domain
+falls below ``--min-speedup``, which is how CI catches regressions of the
+engine.
+
+Usage::
+
+    python benchmarks/bench_matmat_engine.py            # full sizes
+    python benchmarks/bench_matmat_engine.py --quick    # CI smoke mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.matrix import (
+    HierarchicalQueries,
+    Kronecker,
+    LinearQueryMatrix,
+    Prefix,
+    RangeQueries,
+    all_kway_marginals,
+)
+from repro.operators.inference import (
+    build_normal_equations,
+    least_squares,
+    multiplicative_weights,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_matmat.json"
+
+#: The gate family: the tensor-contraction kernel gives Kronecker matrices the
+#: largest win, and multi-dimensional domains are where the paper's implicit
+#: representation matters most.
+GATE_FAMILY = "kronecker"
+
+
+#: Factorisations used for the Kronecker family: three-way domains are the
+#: representative multi-dimensional case (Example 7.3 of the paper).
+_KRON_FACTORS = {256: (8, 8, 4), 1024: (16, 8, 8), 4096: (16, 16, 16), 16384: (32, 32, 16)}
+
+
+def _build_family(family: str, n: int) -> LinearQueryMatrix:
+    if family == "prefix":
+        return Prefix(n)
+    if family == "hierarchical":
+        return HierarchicalQueries(n)
+    if family == "kronecker":
+        if n in _KRON_FACTORS:
+            return Kronecker([Prefix(side) for side in _KRON_FACTORS[n]])
+        side = int(round(np.sqrt(n)))
+        return Kronecker([Prefix(side), Prefix(side)])
+    raise ValueError(f"unknown matrix family {family!r}")
+
+
+def _percol_matmat(matrix: LinearQueryMatrix, B: np.ndarray) -> np.ndarray:
+    """The seed's generic matmat: one interpreter-level matvec per column."""
+    out = np.empty((matrix.shape[0], B.shape[1]))
+    for j in range(B.shape[1]):
+        out[:, j] = matrix.matvec(B[:, j])
+    return out
+
+
+def _percol_dense(matrix: LinearQueryMatrix) -> np.ndarray:
+    """The seed's dense(): the per-column loop over np.eye(n)."""
+    return _percol_matmat(matrix, np.eye(matrix.shape[1]))
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_dense_materialisation(families, sizes, repeats):
+    results = []
+    for family in families:
+        for n in sizes:
+            matrix = _build_family(family, n)
+            baseline = _time(lambda: _percol_dense(matrix), repeats)
+            vectorized = _time(matrix.dense, repeats)
+            # Guard correctness while we are here: both paths must agree.
+            np.testing.assert_allclose(matrix.dense(), _percol_dense(matrix), atol=1e-9)
+            results.append(
+                {
+                    "section": "dense",
+                    "family": family,
+                    "n": n,
+                    "shape": list(matrix.shape),
+                    "percol_seconds": baseline,
+                    "matmat_seconds": vectorized,
+                    "speedup": baseline / max(vectorized, 1e-12),
+                }
+            )
+    return results
+
+
+def bench_block_matmat(families, sizes, repeats, k=32):
+    results = []
+    rng = np.random.default_rng(0)
+    for family in families:
+        for n in sizes:
+            matrix = _build_family(family, n)
+            B = rng.normal(size=(matrix.shape[1], k))
+            baseline = _time(lambda: _percol_matmat(matrix, B), repeats)
+            vectorized = _time(lambda: matrix.matmat(B), repeats)
+            results.append(
+                {
+                    "section": "block_matmat",
+                    "family": family,
+                    "n": n,
+                    "k": k,
+                    "percol_seconds": baseline,
+                    "matmat_seconds": vectorized,
+                    "speedup": baseline / max(vectorized, 1e-12),
+                }
+            )
+    return results
+
+
+def bench_inference(domain, repeats):
+    rng = np.random.default_rng(1)
+    # MW over all 2-way marginals of a multi-dimensional domain: the rows live
+    # inside Kronecker factors, so per-row extraction is expensive while the
+    # blocked rows() kernel is one tensor contraction per block.
+    queries = all_kway_marginals(domain, 2)
+    n = queries.shape[1]
+    x_true = rng.integers(0, 50, size=n).astype(np.float64)
+    answers = queries.matvec(x_true) + rng.normal(scale=1.0, size=queries.shape[0])
+    total = float(x_true.sum())
+
+    def mw_row_at_a_time(iterations=3):
+        x_hat = np.full(n, total / n)
+        for _ in range(iterations):
+            for i in range(queries.shape[0]):
+                row = queries.row(i)
+                error = answers[i] - float(row @ x_hat)
+                x_hat = x_hat * np.exp(row * error / (2.0 * total))
+                x_hat *= total / x_hat.sum()
+        return x_hat
+
+    mw_old = _time(lambda: mw_row_at_a_time(), repeats)
+    mw_new = _time(
+        lambda: multiplicative_weights(queries, answers, total=total, iterations=3),
+        repeats,
+    )
+
+    # Warm-cache normal equations on a tall-skinny random-range workload: the
+    # Gram/Cholesky artifact is built once per strategy (and shareable through
+    # the service ArtifactCache), so the per-request cost is one rmatvec plus a
+    # triangular solve, versus hundreds of LSMR iterations per request.
+    ls_n = 512
+    pairs = rng.integers(0, ls_n, size=(16 * ls_n, 2))
+    ls_queries = RangeQueries(ls_n, [(min(a, b), max(a, b)) for a, b in pairs])
+    ls_answers = ls_queries.matvec(rng.normal(size=ls_n))
+    warm_artifact = build_normal_equations(ls_queries)
+
+    class _Warm:
+        def get_or_build(self, key, builder):
+            return warm_artifact
+
+    ls_lsmr = _time(lambda: least_squares(ls_queries, ls_answers, method="lsmr"), repeats)
+    ls_normal = _time(
+        lambda: least_squares(
+            ls_queries, ls_answers, method="normal", gram_cache=_Warm(), gram_key="warm"
+        ),
+        repeats,
+    )
+    return [
+        {
+            "section": "inference",
+            "path": "multiplicative_weights",
+            "n": n,
+            "num_queries": queries.shape[0],
+            "percol_seconds": mw_old,
+            "matmat_seconds": mw_new,
+            "speedup": mw_old / max(mw_new, 1e-12),
+        },
+        {
+            "section": "inference",
+            "path": "least_squares_warm_gram",
+            "n": ls_n,
+            "num_queries": ls_queries.shape[0],
+            "lsmr_seconds": ls_lsmr,
+            "normal_seconds": ls_normal,
+            "speedup": ls_lsmr / max(ls_normal, 1e-12),
+        },
+    ]
+
+
+def record_trajectory(point: dict) -> None:
+    """Append this run to the BENCH_matmat.json trajectory file."""
+    if TRAJECTORY_PATH.exists():
+        data = json.loads(TRAJECTORY_PATH.read_text())
+    else:
+        data = {"benchmark": "matmat_engine", "trajectory": []}
+    data["trajectory"].append(point)
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode: fewer sizes/repeats")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail if the Kronecker dense speedup at the largest domain is below "
+        "this (default: 10 full, 3 quick — CI hardware is noisy)",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true", help="skip appending to BENCH_matmat.json"
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        dense_sizes, block_sizes, mw_domain, repeats = [4096], [4096], (8, 8, 4), 1
+    else:
+        dense_sizes, block_sizes, mw_domain, repeats = (
+            [1024, 4096],
+            [1024, 4096, 16384],
+            (16, 16, 4),
+            3,
+        )
+    min_speedup = args.min_speedup if args.min_speedup is not None else (3.0 if args.quick else 10.0)
+
+    families = ["prefix", "hierarchical", "kronecker"]
+    results = bench_dense_materialisation(families, dense_sizes, repeats)
+    results += bench_block_matmat(families, block_sizes, repeats)
+    results += bench_inference(mw_domain, repeats)
+
+    print(f"\nVectorized block-matmat engine ({'quick' if args.quick else 'full'} mode)\n")
+    for r in results:
+        label = f"{r['section']}/{r.get('family', r.get('path'))} n={r['n']}"
+        print(f"  {label:52s} speedup {r['speedup']:8.1f}x")
+
+    largest = max(dense_sizes)
+    gate = next(
+        r for r in results
+        if r["section"] == "dense" and r["family"] == GATE_FAMILY and r["n"] == largest
+    )
+    print(
+        f"\nGate: {GATE_FAMILY} dense() at n={largest}: {gate['speedup']:.1f}x "
+        f"(threshold {min_speedup:.1f}x)"
+    )
+
+    if not args.no_record:
+        record_trajectory(
+            {
+                "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "mode": "quick" if args.quick else "full",
+                "results": results,
+            }
+        )
+        print(f"Trajectory point appended to {TRAJECTORY_PATH.name}")
+
+    if gate["speedup"] < min_speedup:
+        print("FAIL: vectorized engine regression", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

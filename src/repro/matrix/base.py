@@ -33,6 +33,35 @@ import numpy as np
 from scipy import sparse as sp
 from scipy.sparse.linalg import LinearOperator
 
+#: Column-block width used by the blocked materialisation helpers
+#: (:meth:`LinearQueryMatrix.dense`, :meth:`LinearQueryMatrix.gram_dense`,
+#: :meth:`LinearQueryMatrix.rows`).  Bounds scratch memory at
+#: ``shape[0] * MATERIALISE_BLOCK`` doubles per block.
+MATERIALISE_BLOCK = 4096
+
+#: Cap on the scratch basis (``shape[0] * block`` cells, ~128 MB of float64)
+#: used by :meth:`LinearQueryMatrix.rows`; the block width shrinks to stay
+#: under it for matrices with very many rows.
+_ROWS_SCRATCH_CELLS = 16_777_216
+
+
+def _validate_operand(B: np.ndarray, expected_rows: int, op: str) -> np.ndarray:
+    """Coerce a matmat/rmatmat operand to a float64 2-D array and check shape."""
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim == 1:
+        raise ValueError(
+            f"{op} requires a 2-D operand; got a 1-D array of length {B.shape[0]}. "
+            "Use matvec/rmatvec for vectors, or reshape to a single-column matrix."
+        )
+    if B.ndim != 2:
+        raise ValueError(f"{op} requires a 2-D operand; got ndim={B.ndim}")
+    if B.shape[0] != expected_rows:
+        raise ValueError(
+            f"dimension mismatch in {op}: operand has {B.shape[0]} rows, "
+            f"expected {expected_rows}"
+        )
+    return B
+
 
 class LinearQueryMatrix:
     """A real matrix defined implicitly by its action on vectors.
@@ -41,6 +70,16 @@ class LinearQueryMatrix:
     :meth:`matvec` and :meth:`rmatvec`.  Everything else — sensitivity, query
     evaluation, Gram matrices, row extraction, materialisation — is derived
     from those primitives, mirroring Table 1 of the paper.
+
+    **Vectorized primitive protocol.**  Multi-vector products go through the
+    public :meth:`matmat` / :meth:`rmatmat` entry points, which validate the
+    operand (2-D, float64, matching row count) and dispatch to the private
+    :meth:`_matmat` / :meth:`_rmatmat` kernels.  The base kernels fall back to
+    one matvec/rmatvec per column; every structured subclass overrides them
+    with a single closed-form NumPy/BLAS call (e.g. ``cumsum(axis=0)`` for
+    Prefix, a reshaped tensor contraction for Kronecker).  Subclasses override
+    the underscore kernels only — never the public methods — so validation
+    stays uniform across the hierarchy.
     """
 
     #: (rows, columns) of the represented matrix.
@@ -92,15 +131,31 @@ class LinearQueryMatrix:
             return self.rmatvec(other)
         if other.ndim == 2:
             # (B @ A) = (A.T @ B.T).T
-            return self.T.matmat(other.T).T
+            return self.rmatmat(other.T).T
         raise TypeError(f"cannot multiply {type(other)!r} by LinearQueryMatrix")
 
     def matmat(self, B: np.ndarray) -> np.ndarray:
         """Return the dense product ``A @ B`` for a 2-D ndarray ``B``."""
-        B = np.asarray(B)
-        out = np.empty((self.shape[0], B.shape[1]))
+        B = _validate_operand(B, self.shape[1], "matmat")
+        return self._matmat(B)
+
+    def rmatmat(self, B: np.ndarray) -> np.ndarray:
+        """Return the dense product ``A.T @ B`` for a 2-D ndarray ``B``."""
+        B = _validate_operand(B, self.shape[0], "rmatmat")
+        return self._rmatmat(B)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        """Kernel behind :meth:`matmat`; fallback is one matvec per column."""
+        out = np.empty((self.shape[0], B.shape[1]), dtype=np.float64)
         for j in range(B.shape[1]):
             out[:, j] = self.matvec(B[:, j])
+        return out
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        """Kernel behind :meth:`rmatmat`; fallback is one rmatvec per column."""
+        out = np.empty((self.shape[1], B.shape[1]), dtype=np.float64)
+        for j in range(B.shape[1]):
+            out[:, j] = self.rmatvec(B[:, j])
         return out
 
     def __abs__(self) -> "LinearQueryMatrix":
@@ -149,16 +204,69 @@ class LinearQueryMatrix:
         e[i] = 1.0
         return self.rmatvec(e)
 
+    def rows(self, indices, block_size: int = 256) -> np.ndarray:
+        """Materialise several rows at once as a ``(len(indices), n)`` array.
+
+        Rows are extracted in blocks through :meth:`rmatmat` (``A.T @ E`` for a
+        block of standard basis columns ``E``), so structured matrices pay one
+        vectorized kernel call per block instead of one interpreter-level
+        rmatvec per row.
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.intp))
+        if indices.ndim != 1:
+            raise ValueError("rows expects a 1-D collection of row indices")
+        m = self.shape[0]
+        if indices.size and (indices.min() < 0 or indices.max() >= m):
+            raise IndexError("row index out of range")
+        # Shrink the block so the scratch basis stays bounded even for
+        # matrices with millions of rows.
+        block_size = max(1, min(block_size, _ROWS_SCRATCH_CELLS // max(m, 1)))
+        out = np.empty((indices.size, self.shape[1]), dtype=np.float64)
+        basis = np.zeros((m, min(block_size, indices.size)))
+        for lo in range(0, indices.size, block_size):
+            chunk = indices[lo : lo + block_size]
+            cols = np.arange(chunk.size)
+            basis[chunk, cols] = 1.0
+            out[lo : lo + chunk.size] = self.rmatmat(basis[:, : chunk.size]).T
+            basis[chunk, cols] = 0.0
+        return out
+
     def diag_gram(self) -> np.ndarray:
         """Column norms squared, i.e. ``diag(A.T A)``, via the square primitive."""
         return self.square().rmatvec(np.ones(self.shape[0]))
+
+    def gram_dense(self, block_size: int = MATERIALISE_BLOCK) -> np.ndarray:
+        """Materialise the Gram matrix ``A.T @ A`` as an ``(n, n)`` ndarray.
+
+        Computed block-wise as ``A.T @ (A @ E)`` over column blocks of the
+        identity, so scratch memory stays at ``m * block_size`` doubles even
+        for tall-skinny measurement matrices.  This is the artifact the
+        normal-equations least-squares fast path caches and shares.
+        """
+        n = self.shape[1]
+        out = np.empty((n, n), dtype=np.float64)
+        for lo in range(0, n, block_size):
+            hi = min(lo + block_size, n)
+            basis = np.zeros((n, hi - lo))
+            basis[np.arange(lo, hi), np.arange(hi - lo)] = 1.0
+            out[:, lo:hi] = self.rmatmat(self.matmat(basis))
+        return out
 
     # ------------------------------------------------------------------
     # Materialisation and interoperability.
     # ------------------------------------------------------------------
     def dense(self) -> np.ndarray:
-        """Materialise to a dense ndarray (column-by-column matvec)."""
-        return self.matmat(np.eye(self.shape[1]))
+        """Materialise to a dense ndarray via blocked :meth:`matmat` calls."""
+        m, n = self.shape
+        if n <= MATERIALISE_BLOCK:
+            return self.matmat(np.eye(n))
+        out = np.empty((m, n), dtype=np.float64)
+        for lo in range(0, n, MATERIALISE_BLOCK):
+            hi = min(lo + MATERIALISE_BLOCK, n)
+            basis = np.zeros((n, hi - lo))
+            basis[np.arange(lo, hi), np.arange(hi - lo)] = 1.0
+            out[:, lo:hi] = self.matmat(basis)
+        return out
 
     def sparse(self) -> sp.csr_matrix:
         """Materialise to a scipy CSR matrix."""
@@ -168,11 +276,15 @@ class LinearQueryMatrix:
         """Bridge to :class:`scipy.sparse.linalg.LinearOperator`.
 
         Used by the iterative inference operators (LSMR, L-BFGS-B gradients).
+        The matmat/rmatmat hooks are wired through so scipy solvers that
+        operate on multiple right-hand sides hit the vectorized kernels.
         """
         return LinearOperator(
             shape=self.shape,
             matvec=self.matvec,
             rmatvec=self.rmatvec,
+            matmat=self.matmat,
+            rmatmat=self.rmatmat,
             dtype=np.float64,
         )
 
@@ -214,6 +326,12 @@ class TransposeMatrix(LinearQueryMatrix):
 
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return self.base.matvec(v)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.base._rmatmat(B)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self.base._matmat(B)
 
     @property
     def T(self) -> LinearQueryMatrix:

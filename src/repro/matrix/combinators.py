@@ -57,6 +57,18 @@ class VStack(LinearQueryMatrix):
             offset += rows
         return out
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return np.concatenate([m._matmat(B) for m in self.matrices], axis=0)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.shape[1], B.shape[1]))
+        offset = 0
+        for m in self.matrices:
+            rows = m.shape[0]
+            out += m._rmatmat(B[offset : offset + rows])
+            offset += rows
+        return out
+
     def __abs__(self) -> LinearQueryMatrix:
         return VStack([abs(m) for m in self.matrices])
 
@@ -64,7 +76,13 @@ class VStack(LinearQueryMatrix):
         return VStack([m.square() for m in self.matrices])
 
     def dense(self) -> np.ndarray:
-        return np.vstack([m.dense() for m in self.matrices])
+        # Fill a preallocated output instead of np.vstack to avoid one full copy.
+        out = np.empty(self.shape)
+        offset = 0
+        for m in self.matrices:
+            out[offset : offset + m.shape[0]] = m.dense()
+            offset += m.shape[0]
+        return out
 
     def sparse(self) -> sp.csr_matrix:
         return sp.vstack([m.sparse() for m in self.matrices], format="csr")
@@ -114,6 +132,18 @@ class HStack(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return np.concatenate([m.rmatvec(v) for m in self.matrices])
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.shape[0], B.shape[1]))
+        offset = 0
+        for m in self.matrices:
+            cols = m.shape[1]
+            out += m._matmat(B[offset : offset + cols])
+            offset += cols
+        return out
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return np.concatenate([m._rmatmat(B) for m in self.matrices], axis=0)
+
     def __abs__(self) -> LinearQueryMatrix:
         return HStack([abs(m) for m in self.matrices])
 
@@ -144,6 +174,12 @@ class Product(LinearQueryMatrix):
 
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return self.right.rmatvec(self.left.rmatvec(v))
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.left._matmat(self.right._matmat(B))
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self.right._rmatmat(self.left._rmatmat(B))
 
     @property
     def T(self) -> LinearQueryMatrix:
@@ -183,6 +219,12 @@ class Weighted(LinearQueryMatrix):
 
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return self.weight * self.base.rmatvec(v)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.weight * self.base._matmat(B)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self.weight * self.base._rmatmat(B)
 
     @property
     def T(self) -> LinearQueryMatrix:
@@ -224,35 +266,43 @@ class Kronecker(LinearQueryMatrix):
             cols *= f.shape[1]
         self.shape = (rows, cols)
 
-    def matvec(self, v: np.ndarray) -> np.ndarray:
-        v = np.asarray(v, dtype=np.float64)
-        in_shape = tuple(f.shape[1] for f in self.factors)
-        tensor = v.reshape(in_shape)
+    def _apply_factors(self, block: np.ndarray, transpose: bool) -> np.ndarray:
+        """Tensor contraction behind matvec/rmatvec/matmat/rmatmat.
+
+        ``block`` has shape ``(n, k)`` (or ``(m, k)`` when ``transpose``); the
+        ``k`` right-hand sides ride along as a trailing tensor axis so every
+        factor is applied to all columns in one vectorized call.
+        """
+        k = block.shape[1]
+        in_shape = tuple(f.shape[0 if transpose else 1] for f in self.factors)
+        tensor = block.reshape(in_shape + (k,))
         # Apply factor i along axis i: move axis to front, flatten the rest,
         # multiply, and move back.  This is the standard multi-linear product.
         for axis, factor in enumerate(self.factors):
+            applied = factor.T if transpose else factor
             tensor = np.moveaxis(tensor, axis, 0)
             lead = tensor.shape[0]
             rest = tensor.shape[1:]
             flat = tensor.reshape(lead, -1)
-            flat = factor.matmat(flat)
-            tensor = flat.reshape((factor.shape[0],) + rest)
+            flat = applied.matmat(flat)
+            tensor = flat.reshape((applied.shape[0],) + rest)
             tensor = np.moveaxis(tensor, 0, axis)
-        return tensor.ravel()
+        out_rows = self.shape[1] if transpose else self.shape[0]
+        return tensor.reshape(out_rows, k)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        return self._apply_factors(v.reshape(-1, 1), transpose=False).ravel()
 
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=np.float64)
-        in_shape = tuple(f.shape[0] for f in self.factors)
-        tensor = v.reshape(in_shape)
-        for axis, factor in enumerate(self.factors):
-            tensor = np.moveaxis(tensor, axis, 0)
-            lead = tensor.shape[0]
-            rest = tensor.shape[1:]
-            flat = tensor.reshape(lead, -1)
-            flat = factor.T.matmat(flat)
-            tensor = flat.reshape((factor.shape[1],) + rest)
-            tensor = np.moveaxis(tensor, 0, axis)
-        return tensor.ravel()
+        return self._apply_factors(v.reshape(-1, 1), transpose=True).ravel()
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self._apply_factors(B, transpose=False)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self._apply_factors(B, transpose=True)
 
     @property
     def T(self) -> LinearQueryMatrix:
@@ -277,9 +327,30 @@ class Kronecker(LinearQueryMatrix):
             result *= f.sensitivity_l2()
         return result
 
+    #: Maximum number of elements :meth:`dense` may materialise.  Roughly 512 MB
+    #: of float64; override on the class or an instance to raise/lower the cap,
+    #: or set to ``None`` to disable the check entirely.
+    dense_cell_budget: int | None = 64_000_000
+
+    def _check_dense_budget(self, cells: int) -> None:
+        budget = self.dense_cell_budget
+        if budget is not None and cells > budget:
+            total = self.shape[0] * self.shape[1]
+            raise ValueError(
+                f"Kronecker.dense() would materialise {cells:,} elements "
+                f"(full product: {total:,} = {self.shape[0]} x {self.shape[1]}), "
+                f"exceeding the cell budget of {budget:,}.  Keep the matrix "
+                "implicit, or raise Kronecker.dense_cell_budget if you really "
+                "want the dense array."
+            )
+
     def dense(self) -> np.ndarray:
+        cells = self.factors[0].shape[0] * self.factors[0].shape[1]
+        self._check_dense_budget(cells)
         out = self.factors[0].dense()
         for f in self.factors[1:]:
+            cells *= f.shape[0] * f.shape[1]
+            self._check_dense_budget(cells)
             out = np.kron(out, f.dense())
         return out
 

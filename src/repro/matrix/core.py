@@ -38,6 +38,12 @@ class Identity(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return np.asarray(v, dtype=np.float64).copy()
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return B.copy()
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return B.copy()
+
     @property
     def T(self) -> LinearQueryMatrix:
         return self
@@ -80,6 +86,12 @@ class Ones(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         total = float(np.sum(v))
         return np.full(self.shape[1], total)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return np.tile(B.sum(axis=0), (self.shape[0], 1))
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return np.tile(B.sum(axis=0), (self.shape[1], 1))
 
     @property
     def T(self) -> LinearQueryMatrix:
@@ -131,6 +143,12 @@ class Prefix(LinearQueryMatrix):
         # Suffix sums: (Prefix.T v)_j = sum_{k >= j} v_k
         return np.cumsum(np.asarray(v, dtype=np.float64)[::-1])[::-1]
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return np.cumsum(B, axis=0)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return np.cumsum(B[::-1], axis=0)[::-1]
+
     @property
     def T(self) -> LinearQueryMatrix:
         return Suffix(self.n)
@@ -169,6 +187,12 @@ class Suffix(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return np.cumsum(np.asarray(v, dtype=np.float64))
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return np.cumsum(B[::-1], axis=0)[::-1]
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return np.cumsum(B, axis=0)
+
     @property
     def T(self) -> LinearQueryMatrix:
         return Prefix(self.n)
@@ -192,48 +216,58 @@ class Suffix(LinearQueryMatrix):
         return sp.csr_matrix(np.triu(np.ones((self.n, self.n))))
 
 
-def _haar_matvec(v: np.ndarray) -> np.ndarray:
+def _haar_matmat(B: np.ndarray) -> np.ndarray:
     """Apply the (unnormalised) Haar wavelet transform used by Privelet.
 
-    The matrix has one row for the total plus, at each level, rows computing
-    the difference between the sums of the left and right halves of each dyadic
-    interval.  ``n`` must be a power of two.
+    Operates column-wise on a ``(n, k)`` block: the matrix has one row for the
+    total plus, at each level, rows computing the difference between the sums
+    of the left and right halves of each dyadic interval.  ``n`` must be a
+    power of two.
     """
-    v = np.asarray(v, dtype=np.float64)
-    n = len(v)
-    rows = [np.sum(v)]
-    current = v
-    while len(current) > 1:
-        half = len(current) // 2
-        pairs = current.reshape(half, 2)
-        rows.append(pairs[:, 0] - pairs[:, 1])
+    B = np.asarray(B, dtype=np.float64)
+    rows = [B.sum(axis=0, keepdims=True)]
+    current = B
+    while current.shape[0] > 1:
+        half = current.shape[0] // 2
+        pairs = current.reshape(half, 2, -1)
+        rows.append(pairs[:, 0, :] - pairs[:, 1, :])
         current = pairs.sum(axis=1)
     # Order: coarse -> fine. Build output with total first, then levels from
     # coarsest (length-1 difference of halves) to finest.
     out = [rows[0]]
     for level in reversed(rows[1:]):
         out.append(level)
-    return np.concatenate([np.atleast_1d(part) for part in out])
+    return np.concatenate(out, axis=0)
 
 
-def _haar_rmatvec(u: np.ndarray, n: int) -> np.ndarray:
-    """Transpose of :func:`_haar_matvec` applied to ``u`` (length ``n``)."""
-    u = np.asarray(u, dtype=np.float64)
-    result = np.full(n, u[0])
+def _haar_matvec(v: np.ndarray) -> np.ndarray:
+    """1-D convenience wrapper around :func:`_haar_matmat`."""
+    return _haar_matmat(np.asarray(v, dtype=np.float64).reshape(-1, 1)).ravel()
+
+
+def _haar_rmatmat(U: np.ndarray, n: int) -> np.ndarray:
+    """Transpose of :func:`_haar_matmat` applied to an ``(n, k)`` block."""
+    U = np.asarray(U, dtype=np.float64)
+    result = np.repeat(U[:1], n, axis=0)
     idx = 1
     size = 1
     width = n
     while width > 1:
         width //= 2
-        coeffs = u[idx : idx + size]
+        coeffs = U[idx : idx + size]
         # Each coefficient at this level covers a block of 2*width cells:
         # +1 on the left half of the block, -1 on the right half.
         block = 2 * width
         signs = np.concatenate([np.ones(width), -np.ones(width)])
-        result += np.repeat(coeffs, block) * np.tile(signs, size)
+        result += np.repeat(coeffs, block, axis=0) * np.tile(signs, size)[:, np.newaxis]
         idx += size
         size *= 2
     return result
+
+
+def _haar_rmatvec(u: np.ndarray, n: int) -> np.ndarray:
+    """1-D convenience wrapper around :func:`_haar_rmatmat`."""
+    return _haar_rmatmat(np.asarray(u, dtype=np.float64).reshape(-1, 1), n).ravel()
 
 
 class HaarWavelet(LinearQueryMatrix):
@@ -260,6 +294,12 @@ class HaarWavelet(LinearQueryMatrix):
         if len(v) != self.n:
             raise ValueError("dimension mismatch in HaarWavelet.rmatvec")
         return _haar_rmatvec(v, self.n)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return _haar_matmat(B)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return _haar_rmatmat(B, self.n)
 
     def sensitivity(self) -> float:
         # Every column has exactly one +/-1 entry at each of the log2(n)

@@ -31,8 +31,14 @@ class DenseMatrix(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return self.array.T @ np.asarray(v, dtype=np.float64)
 
-    def matmat(self, B: np.ndarray) -> np.ndarray:
-        return self.array @ np.asarray(B, dtype=np.float64)
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.array @ B
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self.array.T @ B
+
+    def gram_dense(self, block_size: int | None = None) -> np.ndarray:
+        return self.array.T @ self.array
 
     @property
     def T(self) -> LinearQueryMatrix:
@@ -53,6 +59,9 @@ class DenseMatrix(LinearQueryMatrix):
     def row(self, i: int) -> np.ndarray:
         return self.array[i].copy()
 
+    def rows(self, indices, block_size: int = 256) -> np.ndarray:
+        return self.array[np.asarray(indices, dtype=np.intp)].copy()
+
 
 class SparseMatrix(LinearQueryMatrix):
     """A :class:`LinearQueryMatrix` backed by a scipy sparse matrix (CSR)."""
@@ -69,8 +78,14 @@ class SparseMatrix(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return np.asarray(self.matrix.T @ np.asarray(v, dtype=np.float64)).ravel()
 
-    def matmat(self, B: np.ndarray) -> np.ndarray:
-        return np.asarray(self.matrix @ np.asarray(B, dtype=np.float64))
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return np.asarray(self.matrix @ B)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return np.asarray(self.matrix.T @ B)
+
+    def gram_dense(self, block_size: int | None = None) -> np.ndarray:
+        return np.asarray((self.matrix.T @ self.matrix).todense())
 
     @property
     def T(self) -> LinearQueryMatrix:
@@ -90,6 +105,10 @@ class SparseMatrix(LinearQueryMatrix):
 
     def row(self, i: int) -> np.ndarray:
         return np.asarray(self.matrix.getrow(i).todense()).ravel()
+
+    def rows(self, indices, block_size: int = 256) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.intp)
+        return np.asarray(self.matrix[indices].todense())
 
     @property
     def nnz(self) -> int:

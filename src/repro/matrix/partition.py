@@ -57,6 +57,14 @@ class ReductionMatrix(LinearQueryMatrix):
         v = np.asarray(v, dtype=np.float64)
         return v[self.groups]
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.num_groups, B.shape[1]))
+        np.add.at(out, self.groups, B)
+        return out
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return B[self.groups]
+
     def __abs__(self) -> LinearQueryMatrix:
         return self
 
@@ -145,28 +153,55 @@ class ExpansionMatrix(LinearQueryMatrix):
         sums = np.bincount(self.reduction.groups, weights=v, minlength=self.reduction.num_groups)
         return sums / self.reduction.group_sizes
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return (B / self.reduction.group_sizes[:, np.newaxis])[self.reduction.groups]
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.reduction.num_groups, B.shape[1]))
+        np.add.at(out, self.reduction.groups, B)
+        return out / self.reduction.group_sizes[:, np.newaxis]
+
     def __abs__(self) -> LinearQueryMatrix:
         return self
 
     def square(self) -> LinearQueryMatrix:
-        sq = ExpansionMatrix(self.reduction)
-        # Element-wise squares divide by the group size twice.
-        original = self.reduction.group_sizes
-
-        def matvec(v, sizes=original, groups=self.reduction.groups):
-            v = np.asarray(v, dtype=np.float64)
-            return (v / sizes**2)[groups]
-
-        def rmatvec(v, sizes=original, groups=self.reduction.groups, p=self.reduction.num_groups):
-            v = np.asarray(v, dtype=np.float64)
-            return np.bincount(groups, weights=v, minlength=p) / sizes**2
-
-        sq.matvec = matvec  # type: ignore[method-assign]
-        sq.rmatvec = rmatvec  # type: ignore[method-assign]
-        return sq
+        return _SquaredExpansionMatrix(self.reduction)
 
     def dense(self) -> np.ndarray:
         return self.reduction.dense().T / self.reduction.group_sizes[np.newaxis, :]
 
     def sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(self.dense())
+
+
+class _SquaredExpansionMatrix(LinearQueryMatrix):
+    """Element-wise square of an :class:`ExpansionMatrix`.
+
+    Each non-zero ``1/|g|`` entry becomes ``1/|g|^2``.  A dedicated class (the
+    seed patched bound methods onto an ExpansionMatrix instance, which the
+    vectorized kernel protocol would silently bypass).
+    """
+
+    def __init__(self, reduction: ReductionMatrix):
+        self.reduction = reduction
+        self.shape = (reduction.n, reduction.num_groups)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        return (v / self.reduction.group_sizes**2)[self.reduction.groups]
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        sums = np.bincount(self.reduction.groups, weights=v, minlength=self.reduction.num_groups)
+        return sums / self.reduction.group_sizes**2
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return (B / self.reduction.group_sizes[:, np.newaxis] ** 2)[self.reduction.groups]
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.reduction.num_groups, B.shape[1]))
+        np.add.at(out, self.reduction.groups, B)
+        return out / self.reduction.group_sizes[:, np.newaxis] ** 2
+
+    def __abs__(self) -> LinearQueryMatrix:
+        return self

@@ -70,6 +70,12 @@ class RangeQueries(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return self._product.rmatvec(v)
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self._product._matmat(B)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self._product._rmatmat(B)
+
     def __abs__(self) -> LinearQueryMatrix:
         return self
 
@@ -86,10 +92,7 @@ class RangeQueries(LinearQueryMatrix):
         return float(np.max(np.cumsum(counts)))
 
     def dense(self) -> np.ndarray:
-        out = np.zeros(self.shape)
-        for i, (lo, hi) in enumerate(self.intervals):
-            out[i, lo : hi + 1] = 1.0
-        return out
+        return self.rows(np.arange(self.shape[0]))
 
     def sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(self.dense())
@@ -99,6 +102,18 @@ class RangeQueries(LinearQueryMatrix):
         r = np.zeros(self.n)
         r[lo : hi + 1] = 1.0
         return r
+
+    def rows(self, indices, block_size: int = 256) -> np.ndarray:
+        # 0/1 indicator rows are written directly from the interval endpoints:
+        # a +1/-1 boundary "paintbrush" cumsummed along each row is far cheaper
+        # than routing basis vectors through Prefix.
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.intp))
+        bounds = np.zeros((indices.size, self.n + 1))
+        for r, i in enumerate(indices):
+            lo, hi = self.intervals[i]
+            bounds[r, lo] = 1.0
+            bounds[r, hi + 1] = -1.0
+        return np.cumsum(bounds[:, :-1], axis=1)
 
 
 def hierarchical_intervals(n: int, branching: int = 2) -> list[tuple[int, int]]:
@@ -154,6 +169,12 @@ class HierarchicalQueries(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return self._union.rmatvec(v)
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self._union._matmat(B)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self._union._rmatmat(B)
+
     def __abs__(self) -> LinearQueryMatrix:
         return self
 
@@ -168,6 +189,9 @@ class HierarchicalQueries(LinearQueryMatrix):
 
     def row(self, i: int) -> np.ndarray:
         return self._union.row(i)
+
+    def rows(self, indices, block_size: int = 256) -> np.ndarray:
+        return self._union.rows(indices, block_size=block_size)
 
 
 def optimal_branching_factor(n: int) -> int:
@@ -212,18 +236,18 @@ class RangeQueries2D(LinearQueryMatrix):
     _binary_valued = True
 
     def __init__(self, rows: int, cols: int, rects: Sequence[tuple[int, int, int, int]]):
-        self.rows = int(rows)
-        self.cols = int(cols)
+        self.grid_rows = int(rows)
+        self.grid_cols = int(cols)
         self.rects = [tuple(int(v) for v in r) for r in rects]
         if not self.rects:
             raise ValueError("RangeQueries2D requires at least one rectangle")
         for r_lo, r_hi, c_lo, c_hi in self.rects:
-            if not (0 <= r_lo <= r_hi < self.rows and 0 <= c_lo <= c_hi < self.cols):
+            if not (0 <= r_lo <= r_hi < self.grid_rows and 0 <= c_lo <= c_hi < self.grid_cols):
                 raise ValueError("rectangle outside the domain")
-        n = self.rows * self.cols
+        n = self.grid_rows * self.grid_cols
         self.shape = (len(self.rects), n)
         self._product = Product(
-            self._corner_matrix(), Kronecker([Prefix(self.rows), Prefix(self.cols)])
+            self._corner_matrix(), Kronecker([Prefix(self.grid_rows), Prefix(self.grid_cols)])
         )
 
     def _corner_matrix(self) -> SparseMatrix:
@@ -232,7 +256,7 @@ class RangeQueries2D(LinearQueryMatrix):
 
         def add(i: int, r: int, c: int, val: float) -> None:
             rows_idx.append(i)
-            cols_idx.append(r * self.cols + c)
+            cols_idx.append(r * self.grid_cols + c)
             vals.append(val)
 
         for i, (r_lo, r_hi, c_lo, c_hi) in enumerate(self.rects):
@@ -252,6 +276,12 @@ class RangeQueries2D(LinearQueryMatrix):
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         return self._product.rmatvec(v)
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self._product._matmat(B)
+
+    def _rmatmat(self, B: np.ndarray) -> np.ndarray:
+        return self._product._rmatmat(B)
+
     def __abs__(self) -> LinearQueryMatrix:
         return self
 
@@ -259,21 +289,25 @@ class RangeQueries2D(LinearQueryMatrix):
         return self
 
     def dense(self) -> np.ndarray:
-        out = np.zeros(self.shape)
-        for i, (r_lo, r_hi, c_lo, c_hi) in enumerate(self.rects):
-            block = np.zeros((self.rows, self.cols))
-            block[r_lo : r_hi + 1, c_lo : c_hi + 1] = 1.0
-            out[i] = block.ravel()
-        return out
+        return self.rows(np.arange(self.shape[0]))
 
     def sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(self.dense())
 
     def row(self, i: int) -> np.ndarray:
         r_lo, r_hi, c_lo, c_hi = self.rects[i]
-        block = np.zeros((self.rows, self.cols))
+        block = np.zeros((self.grid_rows, self.grid_cols))
         block[r_lo : r_hi + 1, c_lo : c_hi + 1] = 1.0
         return block.ravel()
+
+    def rows(self, indices, block_size: int = 256) -> np.ndarray:
+        # Rectangle-indicator rows written directly from the corner coordinates.
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.intp))
+        out = np.zeros((indices.size, self.grid_rows, self.grid_cols))
+        for r, i in enumerate(indices):
+            r_lo, r_hi, c_lo, c_hi = self.rects[i]
+            out[r, r_lo : r_hi + 1, c_lo : c_hi + 1] = 1.0
+        return out.reshape(indices.size, -1)
 
 
 def quadtree_rects(rows: int, cols: int, min_size: int = 1) -> list[tuple[int, int, int, int]]:

@@ -1,6 +1,12 @@
 """Inference operators: estimate the data vector from noisy measurements."""
 
-from .least_squares import InferenceResult, least_squares, least_squares_from_parts
+from .least_squares import (
+    InferenceResult,
+    NormalEquations,
+    build_normal_equations,
+    least_squares,
+    least_squares_from_parts,
+)
 from .mult_weights import multiplicative_weights, mwem_update
 from .nnls import nnls, nnls_with_total
 from .thresholding import threshold
@@ -8,6 +14,8 @@ from .tree_based import hierarchical_measurements, tree_based_least_squares
 
 __all__ = [
     "InferenceResult",
+    "NormalEquations",
+    "build_normal_equations",
     "least_squares",
     "least_squares_from_parts",
     "nnls",

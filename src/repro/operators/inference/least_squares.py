@@ -6,24 +6,48 @@ per-query weights account for measurements taken with different noise scales
 (rows are scaled by ``w_i`` before solving, which is equivalent to weighted
 least squares with weights ``w_i^2``).
 
-Two solution strategies are provided:
+Four solution strategies are provided:
 
-* ``method="direct"`` — solve the normal equations with a dense factorisation;
-  cubic in the domain size, only viable for small domains (used as the
+* ``method="direct"`` — dense factorisation of the materialised matrix; cubic
+  in the larger dimension, only viable for small problems (used as the
   baseline in the Fig. 5 scalability experiment).
 * ``method="lsmr"`` (default) — scipy's iterative LSMR solver driven purely by
   matvec/rmatvec, so it runs on implicit matrices without materialisation.
+* ``method="normal"`` — solve the normal equations ``(M.T M) x = M.T y`` with
+  the blocked vectorized :meth:`~repro.matrix.base.LinearQueryMatrix.gram_dense`
+  kernel.  For the common tall-skinny measurement case (``m >> n``) this is
+  dramatically faster than both alternatives, and the ``n x n`` Gram matrix is
+  data-independent, so it can be cached and shared across requests via the
+  service's :class:`~repro.service.artifact_cache.ArtifactCache` (pass
+  ``gram_cache``/``gram_key``).
+* ``method="auto"`` — picks ``"normal"`` for tall-skinny problems with a
+  moderate domain, ``"lsmr"`` otherwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Hashable, Protocol
 
 import numpy as np
+from scipy.linalg import cho_factor, cho_solve
 from scipy.sparse.linalg import lsmr
 
 from ...matrix import LinearQueryMatrix, Weighted, ensure_matrix
 from ...matrix.combinators import VStack
+
+
+class SupportsGetOrBuild(Protocol):
+    """Anything with an ``ArtifactCache``-style ``get_or_build`` method."""
+
+    def get_or_build(self, key: Hashable, builder): ...
+
+
+#: ``method="auto"`` switches to the normal equations when the measurement
+#: matrix has at least this many rows per column ...
+_AUTO_NORMAL_ASPECT = 2.0
+#: ... and no more than this many columns (the Gram solve is O(n^3)).
+_AUTO_NORMAL_MAX_DOMAIN = 4096
 
 
 @dataclass
@@ -33,6 +57,37 @@ class InferenceResult:
     x_hat: np.ndarray
     iterations: int
     residual_norm: float
+
+
+@dataclass
+class NormalEquations:
+    """Cached normal-equations artifact: the Gram matrix and its factorisation.
+
+    Both depend only on the (public) measurement strategy and weights, never on
+    the noisy answers, so the artifact is data-independent and safe to share
+    across requests and tenants through the service's ``ArtifactCache``.
+    ``cho`` is ``None`` when the Gram matrix is singular (rank-deficient
+    measurements), in which case solves fall back to the minimum-norm
+    pseudo-inverse solution.
+    """
+
+    gram: np.ndarray
+    cho: tuple | None
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        if self.cho is not None:
+            return cho_solve(self.cho, rhs)
+        return np.linalg.lstsq(self.gram, rhs, rcond=None)[0]
+
+
+def build_normal_equations(queries: LinearQueryMatrix) -> NormalEquations:
+    """Materialise ``M.T M`` through the blocked Gram kernel and factorise it."""
+    gram = queries.gram_dense()
+    try:
+        cho = cho_factor(gram)
+    except np.linalg.LinAlgError:
+        cho = None
+    return NormalEquations(gram, cho)
 
 
 def _apply_weights(
@@ -64,6 +119,8 @@ def least_squares(
     method: str = "lsmr",
     max_iterations: int | None = None,
     tolerance: float = 1e-8,
+    gram_cache: SupportsGetOrBuild | None = None,
+    gram_key: Hashable | None = None,
 ) -> InferenceResult:
     """Ordinary least-squares estimate of the data vector.
 
@@ -76,8 +133,20 @@ def least_squares(
     weights:
         Optional per-query weights (inverse noise scales).
     method:
-        ``"lsmr"`` (iterative, works on implicit matrices) or ``"direct"``
-        (dense normal equations).
+        ``"lsmr"`` (iterative, works on implicit matrices), ``"direct"``
+        (dense factorisation), ``"normal"`` (dense normal equations through the
+        vectorized Gram kernel), or ``"auto"`` (normal for tall-skinny
+        problems, lsmr otherwise).
+    max_iterations:
+        Iteration cap for the lsmr solver.  ``None`` (the only sentinel) means
+        "use the default of ``max(2n, 100)``"; an explicit ``0`` is honoured
+        and returns the zero vector after no iterations.
+    gram_cache / gram_key:
+        Optional cache (anything with an ``ArtifactCache``-style
+        ``get_or_build``) for the ``method="normal"`` Gram matrix.  The key
+        must uniquely identify the *weighted* measurement matrix — the Gram is
+        data-independent but does depend on the weights, so include them (or a
+        digest of them) in the key when they vary.
     """
     queries = ensure_matrix(queries)
     answers = np.asarray(answers, dtype=np.float64)
@@ -87,16 +156,32 @@ def least_squares(
         )
     queries, answers = _apply_weights(queries, answers, weights)
 
+    if method == "auto":
+        m, n = queries.shape
+        tall_skinny = m >= _AUTO_NORMAL_ASPECT * n and n <= _AUTO_NORMAL_MAX_DOMAIN
+        method = "normal" if tall_skinny else "lsmr"
+
     if method == "direct":
         dense = queries.dense()
         x_hat, residuals, _, _ = np.linalg.lstsq(dense, answers, rcond=None)
         residual = float(np.linalg.norm(dense @ x_hat - answers))
         return InferenceResult(x_hat, iterations=1, residual_norm=residual)
+    if method == "normal":
+        if gram_cache is not None and gram_key is not None:
+            normal = gram_cache.get_or_build(
+                ("least_squares_gram", gram_key), lambda: build_normal_equations(queries)
+            )
+        else:
+            normal = build_normal_equations(queries)
+        x_hat = normal.solve(queries.rmatvec(answers))
+        residual = float(np.linalg.norm(queries.matvec(x_hat) - answers))
+        return InferenceResult(np.asarray(x_hat), iterations=1, residual_norm=residual)
     if method != "lsmr":
         raise ValueError(f"unknown least-squares method {method!r}")
 
     operator = queries.as_linear_operator()
-    max_iterations = max_iterations or max(2 * queries.shape[1], 100)
+    if max_iterations is None:
+        max_iterations = max(2 * queries.shape[1], 100)
     solution = lsmr(operator, answers, atol=tolerance, btol=tolerance, maxiter=max_iterations)
     x_hat, istop, itn, normr = solution[0], solution[1], solution[2], solution[3]
     return InferenceResult(np.asarray(x_hat), iterations=int(itn), residual_norm=float(normr))
