@@ -9,7 +9,11 @@ Measures, for structured matrices (Prefix, hierarchical VStack, Kronecker):
 * block products ``A @ B`` for multi-column ``B`` — matmat versus per-column;
 * inference paths — multiplicative weights over a Kronecker marginal workload
   (blocked row pre-extraction versus one ``row(i)`` call per query per pass),
-  and warm-cache normal-equations least squares versus per-request LSMR.
+  and warm-cache normal-equations least squares versus per-request LSMR;
+* sparse-aware Gram solves — ``build_normal_equations`` on a
+  disjoint-partition (``ReductionMatrix``-derived) strategy with the sparse
+  CSR Gram + sparse LU versus the dense blocked Gram + Cholesky.  Gated: the
+  sparse path must stay >= ``--min-sparse-speedup`` faster.
 
 Each run appends one trajectory point to ``BENCH_matmat.json`` at the repo
 root, so perf changes across PRs are recorded.  The run fails (non-zero exit)
@@ -35,10 +39,13 @@ import numpy as np
 
 from repro.matrix import (
     HierarchicalQueries,
+    Identity,
     Kronecker,
     LinearQueryMatrix,
     Prefix,
     RangeQueries,
+    ReductionMatrix,
+    VStack,
     all_kway_marginals,
 )
 from repro.operators.inference import (
@@ -212,6 +219,84 @@ def bench_inference(domain, repeats):
     ]
 
 
+def bench_partition_scatter(sizes, repeats, k: int = 64):
+    """Grouped block sums: the cached-CSR product versus the old ``np.add.at``.
+
+    ``ReductionMatrix._matmat`` (and the expansion-matrix ``_rmatmat``
+    kernels) previously scattered rows with the unbuffered ``np.add.at``;
+    they now route through a lazily cached CSR partition matrix, whose matmat
+    kernel sums each group's rows in C (a sorted ``reduceat`` was measured
+    too, but loses the random-gather copy of ``B`` at large domains).
+    """
+    results = []
+    rng = np.random.default_rng(3)
+    for n in sizes:
+        reduction = ReductionMatrix(rng.integers(0, n // 8, size=n))
+        B = rng.normal(size=(n, k))
+
+        def add_at_baseline():
+            out = np.zeros((reduction.num_groups, B.shape[1]))
+            np.add.at(out, reduction.groups, B)
+            return out
+
+        np.testing.assert_allclose(reduction._matmat(B), add_at_baseline(), atol=1e-9)
+        baseline = _time(add_at_baseline, repeats)
+        vectorized = _time(lambda: reduction._matmat(B), repeats)
+        results.append(
+            {
+                "section": "partition_matmat",
+                "family": "reduction",
+                "n": n,
+                "k": k,
+                "num_groups": reduction.num_groups,
+                "add_at_seconds": baseline,
+                "csr_seconds": vectorized,
+                "speedup": baseline / max(vectorized, 1e-12),
+            }
+        )
+    return results
+
+
+def bench_sparse_gram(sizes, repeats, group_width: int = 8):
+    """Sparse versus dense Gram solve on a disjoint-partition strategy.
+
+    The strategy stacks a ``ReductionMatrix`` (contiguous groups of
+    ``group_width`` cells) on an ``Identity``, so its Gram is block-diagonal
+    with ~``group_width * n`` non-zeros — exactly the structure a dense
+    ``(n, n)`` materialisation throws away.  Timed end-to-end: Gram
+    construction + factorisation + one solve, i.e. the cold per-strategy cost
+    a service pays the first time a tenant uses the strategy.
+    """
+    results = []
+    rng = np.random.default_rng(2)
+    for n in sizes:
+        strategy = VStack([ReductionMatrix(np.arange(n) // group_width), Identity(n)])
+        answers = strategy.matvec(rng.normal(size=n))
+        rhs = strategy.rmatvec(answers)
+
+        def solve(prefer):
+            return build_normal_equations(strategy, prefer=prefer).solve(rhs)
+
+        np.testing.assert_allclose(solve("sparse"), solve("dense"), atol=1e-6)
+        dense_seconds = _time(lambda: solve("dense"), repeats)
+        sparse_seconds = _time(lambda: solve("sparse"), repeats)
+        gram = strategy.gram_sparse()
+        results.append(
+            {
+                "section": "sparse_gram",
+                "family": "disjoint_partition",
+                "n": n,
+                "num_queries": strategy.shape[0],
+                "gram_nnz": int(gram.nnz),
+                "gram_density": gram.nnz / float(n * n),
+                "dense_seconds": dense_seconds,
+                "sparse_seconds": sparse_seconds,
+                "speedup": dense_seconds / max(sparse_seconds, 1e-12),
+            }
+        )
+    return results
+
+
 def record_trajectory(point: dict) -> None:
     """Append this run to the BENCH_matmat.json trajectory file."""
     if TRAJECTORY_PATH.exists():
@@ -233,6 +318,13 @@ def main() -> int:
         "this (default: 10 full, 3 quick — CI hardware is noisy)",
     )
     parser.add_argument(
+        "--min-sparse-speedup",
+        type=float,
+        default=3.0,
+        help="fail if the sparse-Gram solve speedup on the disjoint-partition "
+        "strategy falls below this (default: 3)",
+    )
+    parser.add_argument(
         "--no-record", action="store_true", help="skip appending to BENCH_matmat.json"
     )
     args = parser.parse_args()
@@ -246,12 +338,17 @@ def main() -> int:
             (16, 16, 4),
             3,
         )
+    # One size in both modes: the dense baseline is an O(n^3) Cholesky, so a
+    # single n >= 4096 point is enough to expose the gap without stalling CI.
+    sparse_gram_sizes = [4096]
     min_speedup = args.min_speedup if args.min_speedup is not None else (3.0 if args.quick else 10.0)
 
     families = ["prefix", "hierarchical", "kronecker"]
     results = bench_dense_materialisation(families, dense_sizes, repeats)
     results += bench_block_matmat(families, block_sizes, repeats)
     results += bench_inference(mw_domain, repeats)
+    results += bench_partition_scatter(block_sizes, repeats)
+    results += bench_sparse_gram(sparse_gram_sizes, repeats)
 
     print(f"\nVectorized block-matmat engine ({'quick' if args.quick else 'full'} mode)\n")
     for r in results:
@@ -267,6 +364,15 @@ def main() -> int:
         f"\nGate: {GATE_FAMILY} dense() at n={largest}: {gate['speedup']:.1f}x "
         f"(threshold {min_speedup:.1f}x)"
     )
+    sparse_gate = next(
+        r
+        for r in results
+        if r["section"] == "sparse_gram" and r["n"] == max(sparse_gram_sizes)
+    )
+    print(
+        f"Gate: sparse-Gram solve at n={sparse_gate['n']}: "
+        f"{sparse_gate['speedup']:.1f}x (threshold {args.min_sparse_speedup:.1f}x)"
+    )
 
     if not args.no_record:
         record_trajectory(
@@ -280,6 +386,9 @@ def main() -> int:
 
     if gate["speedup"] < min_speedup:
         print("FAIL: vectorized engine regression", file=sys.stderr)
+        return 1
+    if sparse_gate["speedup"] < args.min_sparse_speedup:
+        print("FAIL: sparse-Gram engine regression", file=sys.stderr)
         return 1
     return 0
 

@@ -27,6 +27,7 @@ view.  Concrete core matrices live in :mod:`repro.matrix.core`, combinators in
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable
 
 import numpy as np
@@ -43,6 +44,23 @@ MATERIALISE_BLOCK = 4096
 #: used by :meth:`LinearQueryMatrix.rows`; the block width shrinks to stay
 #: under it for matrices with very many rows.
 _ROWS_SCRATCH_CELLS = 16_777_216
+
+#: :meth:`LinearQueryMatrix.gram_auto` returns the sparse Gram when the
+#: structural nnz estimate is at most this fraction of the full ``n * n``;
+#: above it, CSR overhead (index storage, slower BLAS) loses to dense.
+GRAM_DENSITY_THRESHOLD = 0.25
+
+
+def _content_digest(*parts) -> str:
+    """Short stable digest of ndarrays/values, for canonical strategy keys."""
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            digest.update(str(part.dtype).encode())
+            digest.update(np.ascontiguousarray(part).tobytes())
+        else:
+            digest.update(repr(part).encode())
+    return digest.hexdigest()[:16]
 
 
 def _validate_operand(B: np.ndarray, expected_rows: int, op: str) -> np.ndarray:
@@ -252,6 +270,79 @@ class LinearQueryMatrix:
             out[:, lo:hi] = self.rmatmat(self.matmat(basis))
         return out
 
+    def gram_sparse(self) -> sp.csr_matrix:
+        """The Gram matrix ``A.T @ A`` in CSR form.
+
+        The generic fallback materialises the matrix (block-wise, through
+        :meth:`sparse`) and multiplies in scipy's native CSR kernels.
+        Structured subclasses override with closed forms that never touch an
+        ``(m, n)`` scratch array: disjoint partitions sum to (scaled)
+        diagonals, unions block-sum their children's Grams, Kronecker
+        products factorise (``(A ⊗ B).T (A ⊗ B) = A.T A ⊗ B.T B``).
+        """
+        mat = self.sparse()
+        return (mat.T @ mat).tocsr()
+
+    def gram_nnz_estimate(self) -> int:
+        """Cheap structural upper bound on ``nnz(A.T @ A)``.
+
+        Used by :meth:`gram_auto` to decide sparse versus dense without
+        building either.  The base class assumes the worst (a full ``n x n``
+        Gram); structured subclasses tighten the bound from their metadata
+        alone (group sizes, child estimates, factor products).
+        """
+        n = self.shape[1]
+        return n * n
+
+    def gram_auto(self, density_threshold: float = GRAM_DENSITY_THRESHOLD):
+        """The Gram matrix in whichever representation fits its structure.
+
+        Returns :meth:`gram_sparse` (CSR) when the structural nnz estimate is
+        at most ``density_threshold`` of the full ``n * n``, otherwise the
+        dense :meth:`gram_dense` ndarray.  This is the entry point the
+        normal-equations inference path uses, so strategies with sparse Grams
+        (disjoint partitions, identity measurements, Kronecker products of
+        such) are factorised in sparse form end-to-end.
+        """
+        n = self.shape[1]
+        if self.gram_nnz_estimate() <= density_threshold * n * n:
+            return self.gram_sparse()
+        return self.gram_dense()
+
+    def strategy_key(self) -> tuple:
+        """Canonical hashable key identifying this matrix's *content*.
+
+        Two matrices representing the same real matrix through the same
+        construction produce equal keys, so the key can address shared
+        data-independent artifacts (Gram factorisations, sensitivities) in the
+        service's ``ArtifactCache`` across requests and tenants.  Structured
+        classes build keys from O(1)/O(n) metadata; this generic fallback
+        digests the materialised CSR content, which is correct for any
+        subclass but costs a materialisation — override
+        :meth:`_build_strategy_key` on new matrix classes that will be used
+        as service strategies.  Matrix objects are treated as immutable, so
+        keys are memoised per instance and later lookups are free.
+
+        Subclasses override :meth:`_build_strategy_key`, never this method,
+        so the memoisation stays uniform across the hierarchy.
+        """
+        key = self.__dict__.get("_strategy_key_cache")
+        if key is None:
+            key = self._build_strategy_key()
+            self.__dict__["_strategy_key_cache"] = key
+        return key
+
+    def _build_strategy_key(self) -> tuple:
+        """Kernel behind :meth:`strategy_key`; the content-digest fallback."""
+        mat = self.sparse().tocsr()
+        mat.sum_duplicates()
+        return (
+            "raw",
+            type(self).__name__,
+            self.shape,
+            _content_digest(mat.data, mat.indices, mat.indptr),
+        )
+
     # ------------------------------------------------------------------
     # Materialisation and interoperability.
     # ------------------------------------------------------------------
@@ -269,8 +360,22 @@ class LinearQueryMatrix:
         return out
 
     def sparse(self) -> sp.csr_matrix:
-        """Materialise to a scipy CSR matrix."""
-        return sp.csr_matrix(self.dense())
+        """Materialise to a scipy CSR matrix.
+
+        Converts column blocks as they are produced, so dense scratch stays at
+        ``m * MATERIALISE_BLOCK`` doubles instead of the full ``(m, n)`` array
+        the old ``csr_matrix(self.dense())`` fallback allocated.
+        """
+        m, n = self.shape
+        if n <= MATERIALISE_BLOCK:
+            return sp.csr_matrix(self.dense())
+        blocks = []
+        for lo in range(0, n, MATERIALISE_BLOCK):
+            hi = min(lo + MATERIALISE_BLOCK, n)
+            basis = np.zeros((n, hi - lo))
+            basis[np.arange(lo, hi), np.arange(hi - lo)] = 1.0
+            blocks.append(sp.csc_matrix(self.matmat(basis)))
+        return sp.hstack(blocks, format="csr")
 
     def as_linear_operator(self) -> LinearOperator:
         """Bridge to :class:`scipy.sparse.linalg.LinearOperator`.
@@ -348,6 +453,9 @@ class TransposeMatrix(LinearQueryMatrix):
 
     def sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(self.base.sparse().T)
+
+    def _build_strategy_key(self) -> tuple:
+        return ("transpose", self.base.strategy_key())
 
 
 def ensure_matrix(obj) -> LinearQueryMatrix:

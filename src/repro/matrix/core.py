@@ -66,6 +66,18 @@ class Identity(LinearQueryMatrix):
     def sparse(self) -> sp.csr_matrix:
         return sp.identity(self.n, format="csr")
 
+    def gram_dense(self, block_size: int | None = None) -> np.ndarray:
+        return np.eye(self.n)
+
+    def gram_sparse(self) -> sp.csr_matrix:
+        return sp.identity(self.n, format="csr")
+
+    def gram_nnz_estimate(self) -> int:
+        return self.n
+
+    def _build_strategy_key(self) -> tuple:
+        return ("Identity", self.n)
+
 
 class Ones(LinearQueryMatrix):
     """The ``m x n`` all-ones matrix.
@@ -113,7 +125,23 @@ class Ones(LinearQueryMatrix):
         return np.ones(self.shape)
 
     def sparse(self) -> sp.csr_matrix:
-        return sp.csr_matrix(np.ones(self.shape))
+        # Built structurally: every row is the full index range, so the CSR
+        # arrays are written directly without an (m, n) dense intermediate.
+        m, n = self.shape
+        return sp.csr_matrix(
+            (np.ones(m * n), np.tile(np.arange(n), m), np.arange(0, m * n + 1, n)),
+            shape=self.shape,
+        )
+
+    def gram_dense(self, block_size: int | None = None) -> np.ndarray:
+        # (Ones.T @ Ones)[i, j] = m for every i, j.
+        return np.full((self.shape[1], self.shape[1]), float(self.shape[0]))
+
+    def gram_sparse(self) -> sp.csr_matrix:
+        return sp.csr_matrix(self.gram_dense())
+
+    def _build_strategy_key(self) -> tuple:
+        return ("Ones", self.shape)
 
 
 class Total(Ones):
@@ -171,6 +199,14 @@ class Prefix(LinearQueryMatrix):
     def sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(np.tril(np.ones((self.n, self.n))))
 
+    def gram_dense(self, block_size: int | None = None) -> np.ndarray:
+        # Columns i and j overlap in rows max(i, j)..n-1.
+        idx = np.arange(self.n, dtype=np.float64)
+        return self.n - np.maximum.outer(idx, idx)
+
+    def _build_strategy_key(self) -> tuple:
+        return ("Prefix", self.n)
+
 
 class Suffix(LinearQueryMatrix):
     """The ``n x n`` upper-triangular suffix-sum matrix (transpose of Prefix)."""
@@ -214,6 +250,14 @@ class Suffix(LinearQueryMatrix):
 
     def sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(np.triu(np.ones((self.n, self.n))))
+
+    def gram_dense(self, block_size: int | None = None) -> np.ndarray:
+        # Columns i and j overlap in rows 0..min(i, j).
+        idx = np.arange(self.n, dtype=np.float64)
+        return np.minimum.outer(idx, idx) + 1.0
+
+    def _build_strategy_key(self) -> tuple:
+        return ("Suffix", self.n)
 
 
 def _haar_matmat(B: np.ndarray) -> np.ndarray:
@@ -311,3 +355,6 @@ class HaarWavelet(LinearQueryMatrix):
 
     def sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(self.dense())
+
+    def _build_strategy_key(self) -> tuple:
+        return ("HaarWavelet", self.n)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse as sp
 
-from .base import LinearQueryMatrix
+from .base import LinearQueryMatrix, _content_digest
 
 
 class DenseMatrix(LinearQueryMatrix):
@@ -39,6 +39,12 @@ class DenseMatrix(LinearQueryMatrix):
 
     def gram_dense(self, block_size: int | None = None) -> np.ndarray:
         return self.array.T @ self.array
+
+    def gram_sparse(self) -> sp.csr_matrix:
+        return sp.csr_matrix(self.array.T @ self.array)
+
+    def _build_strategy_key(self) -> tuple:
+        return ("Dense", self.shape, _content_digest(self.array))
 
     @property
     def T(self) -> LinearQueryMatrix:
@@ -86,6 +92,20 @@ class SparseMatrix(LinearQueryMatrix):
 
     def gram_dense(self, block_size: int | None = None) -> np.ndarray:
         return np.asarray((self.matrix.T @ self.matrix).todense())
+
+    def gram_sparse(self) -> sp.csr_matrix:
+        # A.T @ A natively in CSR — the structure never leaves sparse land.
+        return (self.matrix.T @ self.matrix).tocsr()
+
+    def gram_nnz_estimate(self) -> int:
+        # Row i contributes at most nnz(row_i)^2 index pairs to the Gram.
+        n = self.shape[1]
+        row_nnz = np.diff(self.matrix.indptr)
+        return int(min(n * n, np.sum(row_nnz.astype(np.int64) ** 2)))
+
+    def _build_strategy_key(self) -> tuple:
+        mat = self.matrix
+        return ("Sparse", self.shape, _content_digest(mat.data, mat.indices, mat.indptr))
 
     @property
     def T(self) -> LinearQueryMatrix:

@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 from scipy import sparse as sp
 
-from .base import LinearQueryMatrix
+from .base import LinearQueryMatrix, _content_digest
 from .combinators import Kronecker, Product, VStack
 from .core import Identity, Prefix
 from .dense import SparseMatrix
@@ -115,6 +115,9 @@ class RangeQueries(LinearQueryMatrix):
             bounds[r, hi + 1] = -1.0
         return np.cumsum(bounds[:, :-1], axis=1)
 
+    def _build_strategy_key(self) -> tuple:
+        return ("RangeQueries", self.n, _content_digest(np.asarray(self.intervals)))
+
 
 def hierarchical_intervals(n: int, branching: int = 2) -> list[tuple[int, int]]:
     """Intervals of a complete ``branching``-ary hierarchy over ``[0, n)``.
@@ -192,6 +195,15 @@ class HierarchicalQueries(LinearQueryMatrix):
 
     def rows(self, indices, block_size: int = 256) -> np.ndarray:
         return self._union.rows(indices, block_size=block_size)
+
+    def gram_sparse(self) -> sp.csr_matrix:
+        return self._union.gram_sparse()
+
+    def gram_nnz_estimate(self) -> int:
+        return self._union.gram_nnz_estimate()
+
+    def _build_strategy_key(self) -> tuple:
+        return ("Hierarchical", self.n, self.branching)
 
 
 def optimal_branching_factor(n: int) -> int:
@@ -308,6 +320,14 @@ class RangeQueries2D(LinearQueryMatrix):
             r_lo, r_hi, c_lo, c_hi = self.rects[i]
             out[r, r_lo : r_hi + 1, c_lo : c_hi + 1] = 1.0
         return out.reshape(indices.size, -1)
+
+    def _build_strategy_key(self) -> tuple:
+        return (
+            "RangeQueries2D",
+            self.grid_rows,
+            self.grid_cols,
+            _content_digest(np.asarray(self.rects)),
+        )
 
 
 def quadtree_rects(rows: int, cols: int, min_size: int = 1) -> list[tuple[int, int, int, int]]:

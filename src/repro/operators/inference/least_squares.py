@@ -27,13 +27,14 @@ Four solution strategies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Protocol
+from typing import Callable, Hashable, Protocol
 
 import numpy as np
+from scipy import sparse as sp
 from scipy.linalg import cho_factor, cho_solve
-from scipy.sparse.linalg import lsmr
+from scipy.sparse.linalg import factorized, lsmr
 
-from ...matrix import LinearQueryMatrix, Weighted, ensure_matrix
+from ...matrix import LinearQueryMatrix, ensure_matrix
 from ...matrix.combinators import VStack
 
 
@@ -66,23 +67,58 @@ class NormalEquations:
     Both depend only on the (public) measurement strategy and weights, never on
     the noisy answers, so the artifact is data-independent and safe to share
     across requests and tenants through the service's ``ArtifactCache``.
-    ``cho`` is ``None`` when the Gram matrix is singular (rank-deficient
-    measurements), in which case solves fall back to the minimum-norm
-    pseudo-inverse solution.
+
+    ``gram`` is either a dense ndarray (factorised with Cholesky, ``cho``) or a
+    scipy CSR matrix (factorised with a sparse LU via
+    ``scipy.sparse.linalg.factorized``, ``lu``), whichever
+    :meth:`~repro.matrix.base.LinearQueryMatrix.gram_auto` decided fits the
+    strategy's structure.  When the Gram is singular (rank-deficient
+    measurements) both factorisations are ``None`` and solves fall back to the
+    minimum-norm pseudo-inverse solution.
     """
 
-    gram: np.ndarray
+    gram: np.ndarray | sp.spmatrix
     cho: tuple | None
+    lu: Callable[[np.ndarray], np.ndarray] | None = None
+
+    @property
+    def is_sparse(self) -> bool:
+        return sp.issparse(self.gram)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         if self.cho is not None:
             return cho_solve(self.cho, rhs)
-        return np.linalg.lstsq(self.gram, rhs, rcond=None)[0]
+        if self.lu is not None:
+            return self.lu(rhs)
+        gram = self.gram.toarray() if sp.issparse(self.gram) else self.gram
+        return np.linalg.lstsq(gram, rhs, rcond=None)[0]
 
 
-def build_normal_equations(queries: LinearQueryMatrix) -> NormalEquations:
-    """Materialise ``M.T M`` through the blocked Gram kernel and factorise it."""
-    gram = queries.gram_dense()
+def build_normal_equations(
+    queries: LinearQueryMatrix, prefer: str = "auto"
+) -> NormalEquations:
+    """Materialise ``M.T M`` and factorise it, exploiting sparsity when it fits.
+
+    ``prefer`` is ``"auto"`` (let the strategy's structural nnz estimate pick
+    the representation), ``"sparse"`` (force CSR + sparse LU) or ``"dense"``
+    (force the blocked dense Gram kernel + Cholesky).
+    """
+    if prefer == "auto":
+        gram = queries.gram_auto()
+    elif prefer == "sparse":
+        gram = queries.gram_sparse()
+    elif prefer == "dense":
+        gram = queries.gram_dense()
+    else:
+        raise ValueError(f"unknown Gram preference {prefer!r}")
+    if sp.issparse(gram):
+        gram = gram.tocsr()
+        try:
+            lu = factorized(gram.tocsc())
+        except RuntimeError:
+            # Exactly singular: solves fall back to the pseudo-inverse.
+            lu = None
+        return NormalEquations(gram, cho=None, lu=lu)
     try:
         cho = cho_factor(gram)
     except np.linalg.LinAlgError:
@@ -92,24 +128,37 @@ def build_normal_equations(queries: LinearQueryMatrix) -> NormalEquations:
 
 def _apply_weights(
     queries: LinearQueryMatrix, answers: np.ndarray, weights: np.ndarray | None
-) -> tuple[LinearQueryMatrix, np.ndarray]:
-    """Scale rows and answers by per-query weights (no-op if weights is None)."""
+) -> tuple[LinearQueryMatrix, np.ndarray, float]:
+    """Fold per-query weights into the system.
+
+    Returns ``(queries, answers, uniform_scale)``.  Non-uniform weights are
+    folded in as a diagonal row scaling (``uniform_scale`` is 1.0).  Exactly
+    uniform weights leave the system untouched and return the common weight as
+    ``uniform_scale`` instead: the minimiser is invariant under a uniform row
+    scaling, so solvers can keep sharing strategy-keyed Gram artifacts across
+    noise scales — but they must multiply reported residual norms by
+    ``uniform_scale`` so the units match the non-uniform case.
+    """
     if weights is None:
-        return queries, np.asarray(answers, dtype=np.float64)
+        return queries, np.asarray(answers, dtype=np.float64), 1.0
     weights = np.asarray(weights, dtype=np.float64)
     answers = np.asarray(answers, dtype=np.float64)
     if weights.shape != (queries.shape[0],):
         raise ValueError("weights must have one entry per query")
+    if not np.any(weights):
+        # All-zero weights erase every equation; a silent unweighted solve
+        # (the old shortcut's behaviour) would claim a residual it never saw.
+        raise ValueError("weights must not be all zero")
     if np.allclose(weights, weights[0]):
-        # Uniform weights do not change the minimiser.
-        return queries, answers
+        # abs(): the residual scale is a norm factor, so a (pathological)
+        # uniform negative weight must not flip residual_norm's sign.
+        return queries, answers, abs(float(weights[0]))
     from ...matrix.dense import SparseMatrix
-    from scipy import sparse as sp
 
     diag = SparseMatrix(sp.diags(weights))
     from ...matrix.combinators import Product
 
-    return Product(diag, queries), weights * answers
+    return Product(diag, queries), weights * answers, 1.0
 
 
 def least_squares(
@@ -146,7 +195,11 @@ def least_squares(
         ``get_or_build``) for the ``method="normal"`` Gram matrix.  The key
         must uniquely identify the *weighted* measurement matrix — the Gram is
         data-independent but does depend on the weights, so include them (or a
-        digest of them) in the key when they vary.
+        digest of them) in the key when they vary.  When ``gram_cache`` is
+        given and ``gram_key`` is ``None``, the key is derived automatically
+        from the weighted matrix's canonical
+        :meth:`~repro.matrix.base.LinearQueryMatrix.strategy_key`, so equal
+        strategies share one factorisation without the caller inventing keys.
     """
     queries = ensure_matrix(queries)
     answers = np.asarray(answers, dtype=np.float64)
@@ -154,27 +207,38 @@ def least_squares(
         raise ValueError(
             f"answers of shape {answers.shape} do not match {queries.shape[0]} queries"
         )
-    queries, answers = _apply_weights(queries, answers, weights)
+    # ``scale`` is a uniform row weight left out of the solve (the minimiser
+    # is invariant, and keeping the system unscaled lets equal strategies
+    # share one cached Gram across noise scales); residual norms are
+    # multiplied back so they are always reported in weighted units.
+    queries, answers, scale = _apply_weights(queries, answers, weights)
 
     if method == "auto":
         m, n = queries.shape
-        tall_skinny = m >= _AUTO_NORMAL_ASPECT * n and n <= _AUTO_NORMAL_MAX_DOMAIN
+        # With a shared Gram cache the factorisation amortises across
+        # requests, so normal equations win from square systems (m >= n)
+        # upward; without one they must beat LSMR on a single cold solve,
+        # which takes the tall-skinny aspect.
+        aspect = 1.0 if gram_cache is not None else _AUTO_NORMAL_ASPECT
+        tall_skinny = m >= aspect * n and n <= _AUTO_NORMAL_MAX_DOMAIN
         method = "normal" if tall_skinny else "lsmr"
 
     if method == "direct":
         dense = queries.dense()
         x_hat, residuals, _, _ = np.linalg.lstsq(dense, answers, rcond=None)
-        residual = float(np.linalg.norm(dense @ x_hat - answers))
+        residual = scale * float(np.linalg.norm(dense @ x_hat - answers))
         return InferenceResult(x_hat, iterations=1, residual_norm=residual)
     if method == "normal":
-        if gram_cache is not None and gram_key is not None:
+        if gram_cache is not None:
+            if gram_key is None:
+                gram_key = queries.strategy_key()
             normal = gram_cache.get_or_build(
                 ("least_squares_gram", gram_key), lambda: build_normal_equations(queries)
             )
         else:
             normal = build_normal_equations(queries)
         x_hat = normal.solve(queries.rmatvec(answers))
-        residual = float(np.linalg.norm(queries.matvec(x_hat) - answers))
+        residual = scale * float(np.linalg.norm(queries.matvec(x_hat) - answers))
         return InferenceResult(np.asarray(x_hat), iterations=1, residual_norm=residual)
     if method != "lsmr":
         raise ValueError(f"unknown least-squares method {method!r}")
@@ -184,12 +248,16 @@ def least_squares(
         max_iterations = max(2 * queries.shape[1], 100)
     solution = lsmr(operator, answers, atol=tolerance, btol=tolerance, maxiter=max_iterations)
     x_hat, istop, itn, normr = solution[0], solution[1], solution[2], solution[3]
-    return InferenceResult(np.asarray(x_hat), iterations=int(itn), residual_norm=float(normr))
+    return InferenceResult(
+        np.asarray(x_hat), iterations=int(itn), residual_norm=scale * float(normr)
+    )
 
 
 def least_squares_from_parts(
     parts: list[tuple[LinearQueryMatrix, np.ndarray, float]],
     method: str = "lsmr",
+    gram_cache: SupportsGetOrBuild | None = None,
+    gram_key: Hashable | None = None,
 ) -> InferenceResult:
     """Global least squares over measurements collected from different plan steps.
 
@@ -197,6 +265,11 @@ def least_squares_from_parts(
     over the *same* data vector (use partition expansion to map measurements on
     reduced domains back to the original domain first).  Each part is weighted
     by the inverse of its noise scale so noisier measurements count less.
+
+    ``gram_cache``/``gram_key`` are forwarded to :func:`least_squares`; with a
+    cache and no explicit key, the key derives from the *weighted* stack's
+    canonical strategy key, so repeated multi-step plans on the same strategy
+    and noise split share one normal-equations factorisation.
     """
     if not parts:
         raise ValueError("at least one measurement part is required")
@@ -217,4 +290,6 @@ def least_squares_from_parts(
         np.concatenate(answers),
         weights=np.concatenate(weights),
         method=method,
+        gram_cache=gram_cache,
+        gram_key=gram_key,
     )

@@ -37,7 +37,9 @@ def nnls(
     answers = np.asarray(answers, dtype=np.float64)
     if answers.shape != (queries.shape[0],):
         raise ValueError("answers do not match the number of queries")
-    queries, answers = _apply_weights(queries, answers, weights)
+    # Uniform weights are left out of the solve (same minimiser, better
+    # conditioning for L-BFGS-B) and folded back into the residual units.
+    queries, answers, scale = _apply_weights(queries, answers, weights)
     n = queries.shape[1]
 
     if x0 is None:
@@ -67,7 +69,7 @@ def nnls(
         options={"maxiter": max_iterations, "ftol": tolerance, "gtol": 1e-10},
     )
     x_hat = np.clip(result.x, 0.0, None)
-    residual = float(np.linalg.norm(queries.matvec(x_hat) - answers))
+    residual = scale * float(np.linalg.norm(queries.matvec(x_hat) - answers))
     return InferenceResult(x_hat, iterations=max(iterations["count"], 1), residual_norm=residual)
 
 

@@ -28,6 +28,34 @@ from ..private.protected import ProtectedDataSource
 REPRESENTATIONS = ("implicit", "sparse", "dense")
 
 
+def infer_least_squares(
+    measurements: LinearQueryMatrix,
+    answers: np.ndarray,
+    method: str | None = None,
+    gram_cache=None,
+    **kwargs,
+):
+    """Least-squares inference with the service-default solver resolution.
+
+    Plans call this instead of :func:`repro.operators.inference.least_squares`
+    directly so the scheduler can influence the solve without every plan
+    re-implementing the policy: ``method=None`` resolves to ``"auto"`` when a
+    ``gram_cache`` is supplied (the :class:`~repro.service.scheduler.PlanScheduler`
+    passes its shared ``ArtifactCache``, so the normal-equations factorisation
+    is built once per strategy and reused by every later request on it — keyed
+    automatically by the strategy's canonical
+    :meth:`~repro.matrix.base.LinearQueryMatrix.strategy_key`) and to the
+    stand-alone default ``"lsmr"`` otherwise.
+    """
+    from ..operators.inference import least_squares
+
+    if method is None:
+        method = "auto" if gram_cache is not None else "lsmr"
+    return least_squares(
+        measurements, answers, method=method, gram_cache=gram_cache, **kwargs
+    )
+
+
 def with_representation(matrix: LinearQueryMatrix, representation: str) -> LinearQueryMatrix:
     """Materialise a measurement matrix in the requested representation.
 

@@ -10,12 +10,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..matrix import Identity, LinearQueryMatrix, Total, ensure_matrix
-from ..operators.inference import least_squares, mwem_update
+from ..operators.inference import mwem_update
 from ..operators.partition import ahp_partition, dawa_partition
 from ..operators.selection import adaptive_grid_select, greedy_h_select, uniform_grid_select
 from ..operators.selection.worst_approx import worst_approximated
 from ..private.protected import ProtectedDataSource
-from .base import Plan, PlanResult, with_representation
+from .base import Plan, PlanResult, infer_least_squares, with_representation
 
 
 class MwemPlan(Plan):
@@ -108,7 +108,10 @@ class AhpPlan(Plan):
             Identity(reduced.domain_size), self.representation
         )
         answers = reduced.vector_laplace(measurements, measure_epsilon)
-        estimate = least_squares(measurements, answers)
+        # The reduced domain size follows the per-request DP-noised partition,
+        # so the Identity strategy is effectively one-off (and trivial for
+        # LSMR anyway): keep it out of the shared Gram cache.
+        estimate = infer_least_squares(measurements, answers)
         x_hat = partition.expand_vector(estimate.x_hat)
         return self._wrap(
             source, before, x_hat, num_groups=partition.num_groups
@@ -153,7 +156,11 @@ class DawaPlan(Plan):
             greedy_h_select(reduced.domain_size, intervals), self.representation
         )
         answers = reduced.vector_laplace(measurements, measure_epsilon)
-        estimate = least_squares(measurements, answers)
+        # The DAWA partition is rebuilt from fresh DP noise on every request,
+        # so its reduced-domain strategy (and Gram) is one-off: solve with
+        # stand-alone LSMR instead of filling the shared cache with
+        # never-reused factorisations.
+        estimate = infer_least_squares(measurements, answers)
         x_hat = partition.expand_vector(estimate.x_hat)
         return self._wrap(source, before, x_hat, num_groups=partition.num_groups)
 
@@ -218,7 +225,9 @@ class AdaptiveGridPlan(Plan):
         from ..matrix.combinators import VStack
 
         all_measurements = matrices[0] if len(matrices) == 1 else VStack(matrices)
-        estimate = least_squares(all_measurements, np.concatenate(answers))
+        # The level-2 grid adapts to noisy level-1 counts, so the stacked
+        # strategy is unique per request — keep its Gram out of the shared cache.
+        estimate = infer_least_squares(all_measurements, np.concatenate(answers))
         return self._wrap(
             source,
             before,

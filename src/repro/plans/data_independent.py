@@ -10,7 +10,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..matrix import Identity, LinearQueryMatrix, Total, ensure_matrix
-from ..operators.inference import least_squares
 from ..operators.selection import (
     greedy_h_select,
     h2_select,
@@ -21,13 +20,18 @@ from ..operators.selection import (
     wavelet_select,
 )
 from ..private.protected import ProtectedDataSource
-from .base import Plan, PlanResult, with_representation
+from .base import Plan, PlanResult, infer_least_squares, with_representation
 
 
 class _SelectMeasureInferPlan(Plan):
-    """Shared implementation of the select → Laplace → least-squares idiom."""
+    """Shared implementation of the select → Laplace → least-squares idiom.
 
-    def __init__(self, representation: str = "implicit", inference_method: str = "lsmr"):
+    ``inference_method=None`` (the default) defers to the service policy:
+    LSMR stand-alone, shared normal equations when the scheduler provides its
+    Gram cache.  Pass an explicit method to pin the solver either way.
+    """
+
+    def __init__(self, representation: str = "implicit", inference_method: str | None = None):
         self.representation = representation
         self.inference_method = inference_method
 
@@ -40,7 +44,12 @@ class _SelectMeasureInferPlan(Plan):
             ensure_matrix(self._select(source, **kwargs)), self.representation
         )
         answers = source.vector_laplace(measurements, epsilon)
-        estimate = least_squares(measurements, answers, method=self.inference_method)
+        estimate = infer_least_squares(
+            measurements,
+            answers,
+            method=self.inference_method,
+            gram_cache=kwargs.get("gram_cache"),
+        )
         return self._wrap(
             source,
             before,
@@ -177,7 +186,9 @@ class UniformGridPlan(Plan):
             uniform_grid_select(rows, cols, noisy_total, epsilon, c=self.c), self.representation
         )
         answers = source.vector_laplace(measurements, epsilon - total_epsilon)
-        estimate = least_squares(measurements, answers)
+        # The grid granularity follows the DP-noised total, so the strategy
+        # varies across requests — keep its Gram out of the shared cache.
+        estimate = infer_least_squares(measurements, answers)
         return self._wrap(
             source, before, estimate.x_hat, num_measurements=measurements.shape[0]
         )

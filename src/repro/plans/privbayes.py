@@ -16,13 +16,13 @@ from typing import Sequence
 import numpy as np
 
 from ..matrix import Total
-from ..operators.inference import least_squares
+
 from ..operators.selection.privbayes import (
     privbayes_select,
     privbayes_synthetic_distribution,
 )
 from ..private.protected import ProtectedDataSource
-from .base import Plan, PlanResult
+from .base import Plan, PlanResult, infer_least_squares
 
 
 class _PrivBayesBase(Plan):
@@ -95,6 +95,8 @@ class PrivBayesLsPlan(_PrivBayesBase):
     def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
         before = source.budget_consumed()
         measurements, answers, network, _ = self._select_and_measure(source, epsilon)
-        estimate = least_squares(measurements, answers)
+        # The measurement stack follows the DP-selected network structure,
+        # which varies per request — keep its Gram out of the shared cache.
+        estimate = infer_least_squares(measurements, answers)
         x_hat = np.clip(estimate.x_hat, 0.0, None)
         return self._wrap(source, before, x_hat, network=network)

@@ -20,12 +20,11 @@ from typing import Sequence
 import numpy as np
 
 from ..matrix import Identity
-from ..operators.inference import least_squares
 from ..operators.partition import dawa_partition, stripe_partition
 from ..operators.selection import greedy_h_select, hb_select
 from ..operators.selection.stripe import stripe_kron_select
 from ..private.protected import ProtectedDataSource
-from .base import Plan, PlanResult, with_representation
+from .base import Plan, PlanResult, infer_least_squares, with_representation
 
 
 class HbStripedPlan(Plan):
@@ -51,9 +50,12 @@ class HbStripedPlan(Plan):
 
         estimates = np.zeros(source.domain_size)
         split_indices = partition.split_indices()
+        gram_cache = kwargs.get("gram_cache")
         for stripe, cells in zip(stripes, split_indices):
             answers = stripe.vector_laplace(measurements, epsilon)
-            estimate = least_squares(measurements, answers)
+            # The HB strategy is identical in every stripe, so with a cache
+            # one factorisation serves all stripes (and all later requests).
+            estimate = infer_least_squares(measurements, answers, gram_cache=gram_cache)
             estimates[cells] = estimate.x_hat
         return self._wrap(
             source, before, estimates, num_stripes=len(stripes), stripe_length=stripe_length
@@ -99,7 +101,9 @@ class DawaStripedPlan(Plan):
                 greedy_h_select(reduced.domain_size), self.representation
             )
             answers = reduced.vector_laplace(measurements, measure_epsilon)
-            estimate = least_squares(measurements, answers)
+            # Each stripe's DAWA partition is fresh DP noise, so the reduced
+            # strategies are one-off: no shared Gram caching.
+            estimate = infer_least_squares(measurements, answers)
             estimates[cells] = stripe_partition_matrix.expand_vector(estimate.x_hat)
             total_groups += stripe_partition_matrix.num_groups
         return self._wrap(
@@ -127,7 +131,9 @@ class HbStripedKronPlan(Plan):
             stripe_kron_select(self.domain, self.stripe_axis), self.representation
         )
         answers = source.vector_laplace(measurements, epsilon)
-        estimate = least_squares(measurements, answers)
+        estimate = infer_least_squares(
+            measurements, answers, gram_cache=kwargs.get("gram_cache")
+        )
         return self._wrap(
             source, before, estimate.x_hat, num_measurements=measurements.shape[0]
         )

@@ -76,8 +76,9 @@ class ArtifactCache:
         )
 
     def gram(self, key: Hashable, matrix: LinearQueryMatrix):
-        """Cached dense Gram matrix ``M.T M`` (a view into the shared
-        normal-equations artifact)."""
+        """Cached Gram matrix ``M.T M`` (a view into the shared
+        normal-equations artifact) — a dense ndarray or CSR matrix, whichever
+        ``gram_auto`` decided fits the strategy's structure."""
         return self.normal_equations(key, matrix).gram
 
     @property

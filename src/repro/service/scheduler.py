@@ -11,9 +11,17 @@ request it (under the session's lock):
 4. reseeds the session kernel with a seed derived deterministically from
    (session base seed, request id), so every response is reproducible
    regardless of scheduling order;
-5. runs the plan, brackets it with kernel budget snapshots, and returns a
+5. runs the plan — passing the shared ``ArtifactCache`` as ``gram_cache`` so
+   plan inference reuses normal-equations factorisations across requests and
+   tenants, keyed by each strategy's canonical ``strategy_key()`` —
+   brackets it with kernel budget snapshots, and returns a
    :class:`~repro.service.api.QueryResponse` whose ``epsilon_spent`` is the
    exact root-level ledger delta.
+
+Requests rejected for a workload/domain mismatch are ledgered too: an
+errored zero-spend :class:`SessionEvent` with an empty history span.  (
+Malformed requests that never resolve to a plan or workload — unknown names —
+still raise before anything touches the session ledger.)
 
 ``execute_batch`` fans requests out over a :class:`ThreadPoolExecutor`.
 Requests on the *same* session serialise on its lock (sequential composition
@@ -121,7 +129,26 @@ class PlanScheduler:
         source = session.vector_source()
         if workload_matrix is not None and workload_matrix.shape[1] != source.domain_size:
             # Reject before any budget is spent: a mismatched workload can
-            # only produce garbage answers (or crash after the charge).
+            # only produce garbage answers (or crash after the charge).  The
+            # rejection is still ledgered — an errored zero-spend event with
+            # an empty history span — so the audit trail has one entry per
+            # scheduled request, exactly like plans that fail mid-run.
+            snapshot = session.kernel.budget_snapshot()
+            session.record(
+                SessionEvent(
+                    request_id=request.request_id,
+                    plan=request.plan,
+                    workload=request.workload,
+                    epsilon_requested=request.epsilon,
+                    epsilon_spent=0.0,
+                    cached=False,
+                    seed=None,
+                    history_start=snapshot.num_measurements,
+                    history_end=snapshot.num_measurements,
+                    tag=request.tag,
+                    error="ValueError",
+                )
+            )
             raise ValueError(
                 f"workload {request.workload!r} has {workload_matrix.shape[1]} columns "
                 f"but session {session.session_id!r} has a {source.domain_size}-cell domain"
@@ -133,7 +160,10 @@ class PlanScheduler:
         session.kernel.reseed(seed)
         before = session.kernel.budget_snapshot()
         try:
-            result = plan.run(source, request.epsilon)
+            # The shared artifact cache rides along so plan inference reuses
+            # data-independent Gram factorisations across requests and
+            # tenants, keyed by each strategy's canonical strategy_key().
+            result = plan.run(source, request.epsilon, gram_cache=self.artifact_cache)
             answers = result.answer(workload_matrix) if workload_matrix is not None else None
         except Exception as exc:
             # A request can fail after spending part (or all) of its budget —

@@ -190,7 +190,15 @@ class TestScheduler:
                 identity_request(session, workload_params={"n": N // 2})
             )
         assert session.budget_consumed() == 0.0
-        assert session.events == []
+        # The rejection itself is ledgered: an errored zero-spend event with
+        # an empty history span, so the audit trail has no gaps.
+        assert len(session.events) == 1
+        event = session.events[0]
+        assert event.error == "ValueError"
+        assert event.epsilon_spent == 0.0
+        assert not event.cached
+        assert event.history_start == event.history_end
+        assert reconcile(session)["exact"]
 
     def test_close_session_drops_cache_entries(self, manager, scheduler, relation):
         session = open_session(manager, relation)
@@ -416,6 +424,69 @@ class TestArtifactCache:
         scheduler.execute(identity_request(second))
         assert scheduler.artifact_cache.stats["misses"] == 1
         assert scheduler.artifact_cache.stats["hits"] == 1
+
+    def test_scheduler_shares_gram_artifacts_across_tenants(self, manager, relation):
+        # The scheduler passes its ArtifactCache into plan inference, so the
+        # normal-equations factorisation built for tenant a's H2 strategy is
+        # reused verbatim by tenant b: zero Gram rebuilds on the second
+        # request, proven by counting actual builder invocations.
+        class CountingCache(ArtifactCache):
+            def __init__(self):
+                super().__init__()
+                self.gram_builds = 0
+
+            def get_or_build(self, key, builder):
+                def counting():
+                    if isinstance(key, tuple) and key and key[0] == "least_squares_gram":
+                        self.gram_builds += 1
+                    return builder()
+
+                return super().get_or_build(key, counting)
+
+        cache = CountingCache()
+        scheduler = PlanScheduler(manager, artifact_cache=cache)
+        first = open_session(manager, relation, tenant="a")
+        second = open_session(manager, relation, tenant="b")
+        request = lambda session: QueryRequest(
+            session.session_id, plan="Hierarchical (H2)", epsilon=0.5
+        )
+
+        scheduler.execute(request(first))
+        assert cache.gram_builds == 1  # the plan actually used the shared cache
+        before = dict(cache.stats)
+
+        scheduler.execute(request(second))
+        assert cache.gram_builds == 1  # zero rebuilds for the second tenant
+        assert cache.stats["misses"] == before["misses"]
+        assert cache.stats["hits"] > before["hits"]
+        gram_keys = [
+            key
+            for key in cache._entries
+            if isinstance(key, tuple) and key and key[0] == "least_squares_gram"
+        ]
+        assert len(gram_keys) == 1
+
+    def test_gram_sharing_does_not_change_answers(self, manager, relation):
+        # Same session seed with and without a pre-warmed Gram artifact: the
+        # shared factorisation is a pure performance artifact.
+        responses = []
+        for trial in range(2):
+            local_manager = SessionManager()
+            scheduler = PlanScheduler(local_manager)
+            session = open_session(local_manager, relation, tenant="t", seed=123)
+            if trial == 1:
+                from repro.matrix import HierarchicalQueries
+
+                strategy = HierarchicalQueries(N)
+                scheduler.artifact_cache.normal_equations(
+                    strategy.strategy_key(), strategy
+                )
+            responses.append(
+                scheduler.execute(
+                    QueryRequest(session.session_id, plan="Hierarchical (H2)", epsilon=0.5)
+                )
+            )
+        np.testing.assert_allclose(responses[0].x_hat, responses[1].x_hat)
 
 
 # ----------------------------------------------------------------------------
