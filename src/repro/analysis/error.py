@@ -6,6 +6,15 @@ of queries and by the number of records (the "scale"), so results are
 comparable across domains and dataset sizes.  Expected-error formulas from the
 matrix-mechanism literature (used by Theorem 5.3 / Theorem 8.4) are also
 provided for analytic comparisons.
+
+The expected-error functions are routed through the sparse-aware Gram engine:
+the strategy's Gram matrix is built once with
+:meth:`~repro.matrix.base.LinearQueryMatrix.gram_auto` and factorised once
+with :func:`~repro.operators.inference.build_normal_equations`, then every
+workload row is a triangular (or sparse-LU) solve inside one blocked trace
+computation ``tr(W G⁺ Wᵀ)``.  The seed recomputed ``pinv(AᵀA)`` from scratch
+for every workload row — O(m·n³) against the engine's O(n³ + m·n²) — which is
+what the ``expected_error`` section of ``BENCH_data_dependent.json`` measures.
 """
 
 from __future__ import annotations
@@ -13,6 +22,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..matrix import LinearQueryMatrix, ensure_matrix
+from ..operators.inference import build_normal_equations
+
+#: Workload rows are materialised and solved in blocks of this many rows, so
+#: scratch memory stays at ``2 * block * n`` doubles for any workload size.
+_ERROR_ROW_BLOCK = 1024
 
 
 def per_query_l2_error(
@@ -65,29 +79,49 @@ def total_squared_error(
     return float(difference @ difference)
 
 
+def expected_workload_error(
+    workload: LinearQueryMatrix, strategy: LinearQueryMatrix, epsilon: float = 1.0
+) -> float:
+    """Expected total squared error of a workload answered via a strategy.
+
+    Matrix-mechanism formula ``2 ||A||₁² / ε² · tr(W (AᵀA)⁺ Wᵀ)`` (Laplace
+    noise has variance ``2b²``).  The Gram is built and factorised *once*
+    through the sparse-aware engine (:func:`build_normal_equations` consuming
+    ``gram_auto()``), then workload rows are materialised in blocks and each
+    block contributes ``Σᵢ qᵢ · solve(G, qᵢ)`` to the trace.  Rank-deficient
+    strategies fall back to the factorisation's minimum-norm solve, matching
+    the pseudo-inverse semantics of the analytic formula.
+    """
+    workload = ensure_matrix(workload)
+    strategy = ensure_matrix(strategy)
+    if workload.shape[1] != strategy.shape[1]:
+        raise ValueError(
+            f"workload over {workload.shape[1]} cells does not match a strategy "
+            f"over {strategy.shape[1]} cells"
+        )
+    normal = build_normal_equations(strategy)
+    num_queries = workload.shape[0]
+    trace = 0.0
+    for lo in range(0, num_queries, _ERROR_ROW_BLOCK):
+        rows = workload.rows(np.arange(lo, min(lo + _ERROR_ROW_BLOCK, num_queries)))
+        solved = np.asarray(normal.solve(rows.T))
+        trace += float(np.einsum("ij,ji->", rows, solved))
+    sensitivity = strategy.sensitivity()
+    return 2.0 * sensitivity**2 / epsilon**2 * trace
+
+
 def expected_query_error(
     query: np.ndarray, strategy: LinearQueryMatrix, epsilon: float = 1.0
 ) -> float:
     """Expected squared error of one query answered via a strategy + least squares.
 
-    Uses the matrix-mechanism formula ``2 ||A||_1^2 / eps^2 * q (A^T A)^+ q^T``
-    (Laplace noise has variance ``2 b^2``).  Dense computation — intended for
-    analytic unit tests on small domains (Theorems 5.3 and 8.4).
+    Thin wrapper around :func:`expected_workload_error` on the single-row
+    workload ``q`` — the factorise-once engine makes the one-query and
+    whole-workload cases the same code path (Theorems 5.3 and 8.4).
     """
-    strategy = ensure_matrix(strategy)
-    A = strategy.dense()
-    gram_pinv = np.linalg.pinv(A.T @ A)
-    q = np.asarray(query, dtype=np.float64)
-    sensitivity = float(np.abs(A).sum(axis=0).max())
-    return 2.0 * sensitivity**2 / epsilon**2 * float(q @ gram_pinv @ q)
+    query = np.asarray(query, dtype=np.float64)
+    if query.ndim != 1:
+        raise ValueError("expected_query_error takes a single 1-D query row")
+    from ..matrix.dense import DenseMatrix
 
-
-def expected_workload_error(
-    workload: LinearQueryMatrix, strategy: LinearQueryMatrix, epsilon: float = 1.0
-) -> float:
-    """Expected total squared error of a workload answered via a strategy."""
-    workload = ensure_matrix(workload)
-    W = workload.dense()
-    return float(
-        sum(expected_query_error(W[i], strategy, epsilon) for i in range(W.shape[0]))
-    )
+    return expected_workload_error(DenseMatrix(query.reshape(1, -1)), strategy, epsilon)

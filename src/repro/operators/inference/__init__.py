@@ -7,7 +7,7 @@ from .least_squares import (
     least_squares,
     least_squares_from_parts,
 )
-from .mult_weights import multiplicative_weights, mwem_update
+from .mult_weights import estimate_total, multiplicative_weights, mwem_update
 from .nnls import nnls, nnls_with_total
 from .thresholding import threshold
 from .tree_based import hierarchical_measurements, tree_based_least_squares
@@ -20,6 +20,7 @@ __all__ = [
     "least_squares_from_parts",
     "nnls",
     "nnls_with_total",
+    "estimate_total",
     "multiplicative_weights",
     "mwem_update",
     "threshold",

@@ -86,9 +86,20 @@ class NormalEquations:
         return sp.issparse(self.gram)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``gram @ x = rhs`` for a vector or a stack of columns."""
         if self.cho is not None:
             return cho_solve(self.cho, rhs)
         if self.lu is not None:
+            rhs = np.asarray(rhs)
+            if rhs.ndim == 2:
+                try:
+                    return np.asarray(self.lu(rhs))
+                except Exception:
+                    # umfpack-backed factorized() solves only accept 1-D
+                    # right-hand sides; fall back to one solve per column.
+                    return np.stack(
+                        [self.lu(rhs[:, j]) for j in range(rhs.shape[1])], axis=1
+                    )
             return self.lu(rhs)
         gram = self.gram.toarray() if sp.issparse(self.gram) else self.gram
         return np.linalg.lstsq(gram, rhs, rcond=None)[0]

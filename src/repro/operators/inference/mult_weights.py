@@ -9,6 +9,15 @@ how much each measured query under- or over-estimates its noisy answer:
 followed by renormalisation to the total.  This is closely related to
 maximum-entropy inference and is most effective when the measured query set is
 incomplete.  Only matvec/rmatvec are needed, so implicit matrices work.
+
+**Support-sparse sequential updates.**  A counting-query row is typically
+non-zero on a short range of the domain, yet the textbook update exponentiates
+every cell — ``exp(0) = 1`` everywhere outside the support.  The sequential
+mode therefore extracts each row's non-zero support once (reused across all
+passes for cached rows) and applies the exponential only on the support,
+leaving off-support cells untouched.  Because the off-support factor is
+*exactly* 1, the trajectory is bit-identical to the dense update; only the
+wasted ``exp`` calls disappear.
 """
 
 from __future__ import annotations
@@ -27,17 +36,70 @@ _ROW_CACHE_CELLS = 16_777_216
 
 _ROW_BLOCK = 256
 
+#: ``support_sparse=None`` applies the support-sparse exponential to rows
+#: whose support covers at most this fraction of the domain; denser rows keep
+#: the plain dense update (the gather overhead would exceed the saved exps).
+_SUPPORT_DENSITY = 0.5
 
-def _pass_rows(queries: LinearQueryMatrix, cached: np.ndarray | None):
-    """Yield ``(i, row_i)`` for one MW pass without per-row rmatvec calls."""
+
+def _row_supports(rows: np.ndarray, support_sparse: bool | None) -> list:
+    """Per-row ``(indices, values)`` supports, or ``None`` where dense is better.
+
+    ``support_sparse`` mirrors the :func:`multiplicative_weights` parameter:
+    ``None`` keeps the support only when it is small enough to win
+    (:data:`_SUPPORT_DENSITY`), ``True`` forces it, ``False`` disables it.
+    """
+    if support_sparse is False:
+        return [None] * rows.shape[0]
+    cutoff = rows.shape[1] if support_sparse else _SUPPORT_DENSITY * rows.shape[1]
+    supports = []
+    for row in rows:
+        indices = np.flatnonzero(row)
+        supports.append((indices, row[indices]) if indices.size <= cutoff else None)
+    return supports
+
+
+def _pass_rows(
+    queries: LinearQueryMatrix,
+    cached: np.ndarray | None,
+    cached_supports: list | None,
+    support_sparse: bool | None,
+):
+    """Yield ``(i, row_i, support_i)`` for one MW pass without per-row rmatvec calls."""
     if cached is not None:
-        yield from enumerate(cached)
+        for i, row in enumerate(cached):
+            yield i, row, cached_supports[i]
         return
     num_queries = queries.shape[0]
     for lo in range(0, num_queries, _ROW_BLOCK):
         block = queries.rows(np.arange(lo, min(lo + _ROW_BLOCK, num_queries)))
+        supports = _row_supports(block, support_sparse)
         for offset, row in enumerate(block):
-            yield lo + offset, row
+            yield lo + offset, row, supports[offset]
+
+
+def estimate_total(queries: LinearQueryMatrix, answers: np.ndarray) -> float:
+    """MWEM's known-total stand-in when no total is supplied.
+
+    Total-like rows — rows that sum every cell with coefficient one — answer
+    the total directly, so their noisy answers average to an unbiased estimate;
+    when the query set has none, the largest answer magnitude is the best
+    available lower bound.  Rows are classified from two matvecs (row sums and
+    squared row sums), so implicit matrices never materialise: a row with both
+    equal to the domain size must be all ones, given coefficients in [0, 1].
+    """
+    queries = ensure_matrix(queries)
+    answers = np.asarray(answers, dtype=np.float64)
+    n = queries.shape[1]
+    ones = np.ones(n)
+    row_sums = queries.matvec(ones)
+    squared_sums = queries.square().matvec(ones)
+    total_like = np.isclose(row_sums, n) & np.isclose(squared_sums, n)
+    if np.any(total_like):
+        # Same floor as the fallback: a heavily-noised total can come back
+        # non-positive, and a degenerate total collapses the MW update.
+        return float(max(np.mean(answers[total_like]), 1.0))
+    return float(max(np.max(np.abs(answers)), 1.0))
 
 
 def multiplicative_weights(
@@ -48,6 +110,8 @@ def multiplicative_weights(
     iterations: int = 50,
     update_rounds: int = 1,
     mode: str = "sequential",
+    support_sparse: bool | None = None,
+    row_cache: np.ndarray | None = None,
 ) -> InferenceResult:
     """Estimate the data vector with the multiplicative-weights update rule.
 
@@ -60,8 +124,8 @@ def multiplicative_weights(
         Noisy answers ``y``.
     total:
         Total number of records.  If ``None`` it is estimated from the answers
-        (mean of any total-like rows, otherwise the max answer), matching
-        MWEM's assumption of a known total.
+        (mean of any total-like rows, otherwise the max answer; see
+        :func:`estimate_total`), matching MWEM's assumption of a known total.
     x0:
         Starting estimate; defaults to the uniform distribution over the domain
         scaled to ``total``.
@@ -79,6 +143,16 @@ def multiplicative_weights(
         rmatvec to fold every error back into the exponent — which is much
         faster on large query sets but follows a (slightly) different
         optimisation trajectory.
+    support_sparse:
+        Sequential-mode exponential policy.  ``None`` (default) applies the
+        exponential only on a row's non-zero support whenever the support is
+        small enough to win; ``True``/``False`` force the support-sparse or
+        dense update.  All three settings produce bit-identical trajectories
+        (``exp(0) = 1`` exactly); the flag exists for benchmarks and tests.
+    row_cache:
+        Optional pre-extracted dense rows of ``queries`` (shape ``(m, n)``).
+        Callers that grow a measurement set incrementally (the MWEM plan
+        family) pass the rows they already hold, skipping re-extraction.
     """
     queries = ensure_matrix(queries)
     answers = np.asarray(answers, dtype=np.float64)
@@ -89,7 +163,7 @@ def multiplicative_weights(
     n = queries.shape[1]
 
     if total is None:
-        total = float(max(np.max(np.abs(answers)), 1.0))
+        total = estimate_total(queries, answers)
     total = max(float(total), 1e-9)
 
     if x0 is None:
@@ -107,15 +181,33 @@ def multiplicative_weights(
                 x_hat *= total / x_hat.sum()
     else:
         cached = None
-        if num_queries * n <= _ROW_CACHE_CELLS:
+        cached_supports = None
+        if row_cache is not None:
+            row_cache = np.asarray(row_cache, dtype=np.float64)
+            if row_cache.shape != queries.shape:
+                raise ValueError(
+                    f"row_cache of shape {row_cache.shape} does not match the "
+                    f"{queries.shape} query matrix"
+                )
+            cached = row_cache
+        elif num_queries * n <= _ROW_CACHE_CELLS:
             cached = queries.rows(np.arange(num_queries))
+        if cached is not None:
+            # Supports are extracted once and reused by every pass.
+            cached_supports = _row_supports(cached, support_sparse)
         for _ in range(iterations):
-            for i, row in _pass_rows(queries, cached):
+            for i, row, support in _pass_rows(queries, cached, cached_supports, support_sparse):
                 for _ in range(update_rounds):
                     estimate = float(row @ x_hat)
                     error = answers[i] - estimate
                     # Standard MW step size from Hardt-Ligett-McSherry.
-                    x_hat = x_hat * np.exp(row * error / (2.0 * total))
+                    if support is None:
+                        x_hat = x_hat * np.exp(row * error / (2.0 * total))
+                    else:
+                        indices, values = support
+                        x_hat[indices] = x_hat[indices] * np.exp(
+                            values * error / (2.0 * total)
+                        )
                     x_hat *= total / x_hat.sum()
 
     residual = float(np.linalg.norm(queries.matvec(x_hat) - answers))
@@ -127,11 +219,27 @@ def mwem_update(
     query_row: np.ndarray,
     noisy_answer: float,
     total: float,
+    support: np.ndarray | None = None,
 ) -> np.ndarray:
-    """A single multiplicative-weights update (used inside the MWEM plan loop)."""
+    """A single multiplicative-weights update (used inside the MWEM plan loop).
+
+    ``support`` optionally carries the row's precomputed non-zero indices
+    (``np.flatnonzero(query_row)``); the exponential is then applied only on
+    the support, which is bit-identical to the dense update (``exp(0) = 1``)
+    but skips the full-domain exponentiation.  Plans that replay a measurement
+    history every round extract each row's support once at measurement time.
+    """
     x_hat = np.clip(np.asarray(x_hat, dtype=np.float64), 1e-12, None)
     estimate = float(query_row @ x_hat)
     error = noisy_answer - estimate
-    updated = x_hat * np.exp(query_row * error / (2.0 * max(total, 1e-9)))
-    updated *= x_hat.sum() / updated.sum()
+    if support is None:
+        updated = x_hat * np.exp(query_row * error / (2.0 * max(total, 1e-9)))
+        updated *= x_hat.sum() / updated.sum()
+        return updated
+    prior_sum = x_hat.sum()
+    updated = x_hat  # np.clip returned a fresh array we own
+    updated[support] = updated[support] * np.exp(
+        query_row[support] * error / (2.0 * max(total, 1e-9))
+    )
+    updated *= prior_sum / updated.sum()
     return updated

@@ -1,7 +1,12 @@
 """Partition-selection operators: choose a partition matrix P for reduce/split."""
 
 from .ahp import ahp_partition, ahp_partition_from_noisy, cluster_sorted_counts
-from .dawa import dawa_partition, dawa_partition_from_noisy, l1_partition
+from .dawa import (
+    dawa_partition,
+    dawa_partition_from_noisy,
+    l1_partition,
+    l1_partition_batch,
+)
 from .structural import (
     grid_partition,
     marginal_partition,
@@ -17,6 +22,7 @@ __all__ = [
     "dawa_partition",
     "dawa_partition_from_noisy",
     "l1_partition",
+    "l1_partition_batch",
     "workload_based_partition",
     "reduce_workload_and_vector",
     "stripe_partition",

@@ -60,7 +60,7 @@ class MwemPlan(Plan):
 
         x_hat = np.full(n, total / n)
         per_round = remaining / self.rounds
-        history: list[tuple[np.ndarray, float]] = []
+        history: list[tuple[np.ndarray, np.ndarray, float]] = []
 
         for _ in range(self.rounds):
             _, row = worst_approximated(source, self.workload, x_hat, per_round / 2.0)
@@ -68,11 +68,19 @@ class MwemPlan(Plan):
 
             measurement = DenseMatrix(row.reshape(1, -1))
             noisy = source.vector_laplace(measurement, per_round / 2.0)[0]
-            history.append((row, noisy))
+            # The row's support is extracted once here; every later history
+            # replay exponentiates only on it (bit-identical to the dense
+            # update — exp(0) = 1 — but free of full-domain exp calls).
+            # Near-dense rows keep the plain update: the gather would cost
+            # more than the exps it saves.
+            support = np.flatnonzero(row)
+            history.append((row, support if 2 * support.size <= n else None, noisy))
             # Multiplicative-weights update over the full history (several passes).
             for _ in range(self.history_passes):
-                for past_row, past_answer in history:
-                    x_hat = mwem_update(x_hat, past_row, past_answer, total)
+                for past_row, past_support, past_answer in history:
+                    x_hat = mwem_update(
+                        x_hat, past_row, past_answer, total, support=past_support
+                    )
 
         return self._wrap(source, before, x_hat, rounds=self.rounds, total_estimate=total)
 

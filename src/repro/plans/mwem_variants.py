@@ -22,6 +22,12 @@ from ..operators.selection.worst_approx import augment_with_hierarchy, worst_app
 from ..private.protected import ProtectedDataSource
 from .base import Plan, PlanResult
 
+#: Cap (in ``rows * domain_size`` doubles) on the measurement-row cache the
+#: MWEM variants grow across rounds for multiplicative-weights inference.
+#: Beyond it the cache is dropped and inference falls back to blocked row
+#: extraction inside :func:`multiplicative_weights`.
+_HISTORY_ROW_CACHE_CELLS = 16_777_216
+
 
 class _MwemVariantBase(Plan):
     """Shared loop of the MWEM variants (selection / measurement / inference hooks)."""
@@ -58,6 +64,13 @@ class _MwemVariantBase(Plan):
         x_hat = np.full(n, total / n)
         per_round = remaining / self.rounds
         measured: list[tuple[LinearQueryMatrix, np.ndarray]] = []
+        # Dense rows of every measurement so far, grown one block per round:
+        # each round's MW inference reuses them (and their supports) instead
+        # of re-extracting the whole history from the stacked matrix.  None
+        # once the cache outgrows its memory budget (it cannot be partially
+        # used, so it is dropped for the remaining rounds).
+        row_blocks: list[np.ndarray] | None = [] if not self.use_nnls else None
+        cached_rows = 0
 
         for round_index in range(self.rounds):
             _, row = worst_approximated(source, self.workload, x_hat, per_round / 2.0)
@@ -69,7 +82,13 @@ class _MwemVariantBase(Plan):
                 measurement = DenseMatrix(row.reshape(1, -1))
             answers = source.vector_laplace(measurement, per_round / 2.0)
             measured.append((measurement, answers))
-            x_hat = self._infer(measured, total, n, x_hat)
+            if row_blocks is not None:
+                cached_rows += measurement.shape[0]
+                if cached_rows * n > _HISTORY_ROW_CACHE_CELLS:
+                    row_blocks = None
+                else:
+                    row_blocks.append(measurement.rows(np.arange(measurement.shape[0])))
+            x_hat = self._infer(measured, total, n, x_hat, row_blocks)
 
         return self._wrap(
             source,
@@ -87,6 +106,7 @@ class _MwemVariantBase(Plan):
         total: float,
         n: int,
         x_hat: np.ndarray,
+        row_blocks: list[np.ndarray] | None = None,
     ) -> np.ndarray:
         matrices = [m for m, _ in measured]
         answers = np.concatenate([y for _, y in measured])
@@ -94,8 +114,14 @@ class _MwemVariantBase(Plan):
         if self.use_nnls:
             estimate = nnls_with_total(stacked, answers, total=total)
             return estimate.x_hat
+        row_cache = np.concatenate(row_blocks) if row_blocks else None
         estimate = multiplicative_weights(
-            stacked, answers, total=total, x0=x_hat, iterations=self.history_passes
+            stacked,
+            answers,
+            total=total,
+            x0=x_hat,
+            iterations=self.history_passes,
+            row_cache=row_cache,
         )
         return estimate.x_hat
 

@@ -19,8 +19,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..matrix import Identity
-from ..operators.partition import dawa_partition, stripe_partition
+from ..matrix import Identity, ReductionMatrix
+from ..operators.partition import l1_partition_batch, stripe_partition
 from ..operators.selection import greedy_h_select, hb_select
 from ..operators.selection.stripe import stripe_kron_select
 from ..private.protected import ProtectedDataSource
@@ -92,10 +92,22 @@ class DawaStripedPlan(Plan):
         partition_epsilon = self.partition_share * epsilon
         measure_epsilon = epsilon - partition_epsilon
 
+        # Stage one of every stripe's DAWA first: the noisy histograms are
+        # collected stripe by stripe (budget accounting is unchanged — the
+        # same Vector Laplace calls, under parallel composition), then a
+        # single l1_partition_batch runs the L1 DP for all stripes at once,
+        # vectorizing the per-end recurrence across the stripe axis.
+        stripe_length = self.domain[self.stripe_axis]
+        stripe_identity = Identity(stripe_length)
+        noisy_histograms = np.stack(
+            [stripe.vector_laplace(stripe_identity, partition_epsilon) for stripe in stripes]
+        )
+        assignments = l1_partition_batch(noisy_histograms, 1.0 / partition_epsilon)
+
         estimates = np.zeros(source.domain_size)
         total_groups = 0
-        for stripe, cells in zip(stripes, split_indices):
-            stripe_partition_matrix = dawa_partition(stripe, partition_epsilon)
+        for stripe, cells, assignment in zip(stripes, split_indices, assignments):
+            stripe_partition_matrix = ReductionMatrix(assignment)
             reduced = stripe.reduce_by_partition(stripe_partition_matrix)
             measurements = with_representation(
                 greedy_h_select(reduced.domain_size), self.representation
