@@ -22,6 +22,7 @@ Subpackages
 ``repro.matrix``    implicit linear-query matrices (Sec. 7)
 ``repro.dataset``   relations, schemas, table transformations, synthetic data
 ``repro.private``   protected kernel, stability and budget accounting (Sec. 4)
+``repro.accounting`` pluggable privacy accountants: pure ε, (ε, δ), ρ-zCDP
 ``repro.operators`` the operator library (Sec. 5)
 ``repro.plans``     the plan library (Fig. 2 + case studies, Secs. 6 and 9)
 ``repro.workload``  workload builders (with named registry + cache keys)
@@ -44,6 +45,14 @@ from .matrix import (
     Suffix,
     Total,
     VStack,
+)
+from .accounting import (
+    Accountant,
+    ApproxDPAccountant,
+    PrivacyOdometer,
+    PureDPAccountant,
+    ZCDPAccountant,
+    make_accountant,
 )
 from .private import BudgetExceededError, ProtectedDataSource, ProtectedKernel, protect
 
@@ -71,4 +80,10 @@ __all__ = [
     "ProtectedDataSource",
     "ProtectedKernel",
     "BudgetExceededError",
+    "Accountant",
+    "PureDPAccountant",
+    "ApproxDPAccountant",
+    "ZCDPAccountant",
+    "make_accountant",
+    "PrivacyOdometer",
 ]

@@ -1,0 +1,162 @@
+"""Adaptive odometer / filter view of a kernel's per-source privacy spend.
+
+Terminology follows Rogers et al. (2016): a *privacy odometer* reports, at
+any point in an adaptive interaction, a valid bound on the privacy loss spent
+so far; a *privacy filter* decides whether one more proposed charge still
+fits a fixed budget.  Here both views are derived from the kernel's lineage
+tracker and its accountant:
+
+* :meth:`PrivacyOdometer.entries` — the per-source spend ledger (native
+  units plus the accountant's converted ``(ε, δ)`` statement per source),
+* :meth:`PrivacyOdometer.can_measure` / :meth:`headroom` — the filter: a
+  dry-run of Algorithm 2's propagation against the remaining budget, so an
+  adaptive plan can test a candidate measurement *before* committing budget
+  (a rejected :meth:`can_measure` costs nothing, unlike catching
+  :class:`~repro.private.exceptions.BudgetExceededError` after the fact).
+
+Everything here is public information: it is computed from budget counters
+and lineage metadata only, never from the private data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .base import Accountant, Cost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (private imports us)
+    from ..private.budget import BudgetTracker
+    from ..private.kernel import ProtectedKernel
+
+__all__ = ["OdometerEntry", "PrivacyOdometer"]
+
+
+@dataclass(frozen=True)
+class OdometerEntry:
+    """Per-source row of the odometer: where budget went, in both unit systems."""
+
+    source: str
+    kind: str
+    #: native-unit spend recorded at this source (before lineage scaling).
+    native_spent: float
+    native_delta_spent: float
+    #: the accountant's (ε, δ) statement covering this source's local spend.
+    epsilon_spent: float
+    delta_spent: float
+    #: product of stability factors from the source up to the root.
+    cumulative_stability: float
+
+
+class PrivacyOdometer:
+    """Read-only accounting views over one protected kernel."""
+
+    def __init__(self, kernel: "ProtectedKernel"):
+        self._kernel = kernel
+
+    @property
+    def accountant(self) -> Accountant:
+        return self._kernel.accountant
+
+    @property
+    def _tracker(self) -> "BudgetTracker":
+        return self._kernel.budget_tracker
+
+    # ------------------------------------------------------------------
+    # Odometer: realised spend.
+    # ------------------------------------------------------------------
+    def entries(self) -> list[OdometerEntry]:
+        """One row per source that has spent budget, sorted by source name."""
+        accountant = self.accountant
+        rows = []
+        for node in self._tracker.spending_nodes():
+            epsilon, delta = accountant.epsilon_delta(node.spent)
+            rows.append(
+                OdometerEntry(
+                    source=node.name,
+                    kind=node.kind.value,
+                    native_spent=node.consumed,
+                    native_delta_spent=node.consumed_delta,
+                    epsilon_spent=epsilon,
+                    delta_spent=delta,
+                    cumulative_stability=self._tracker.cumulative_stability(node.name),
+                )
+            )
+        return sorted(rows, key=lambda row: row.source)
+
+    def total_spent(self) -> Cost:
+        """Root-level spend in native units."""
+        return self._tracker.spent()
+
+    def remaining(self) -> Cost:
+        """Remaining root-level budget in native units (clamped at zero)."""
+        return self._tracker.remaining_cost()
+
+    def epsilon_delta_report(self) -> tuple[float, float]:
+        """The accountant's ``(ε, δ)`` statement covering all spend so far."""
+        return self.accountant.epsilon_delta(self.total_spent())
+
+    # ------------------------------------------------------------------
+    # Filter: hypothetical spend.
+    # ------------------------------------------------------------------
+    def can_measure(self, source: str, epsilon: float, mechanism: str = "laplace") -> bool:
+        """Would a ``mechanism`` measurement with parameter ε on ``source`` fit?
+
+        A pure dry-run of the lineage propagation — no counters move, nothing
+        is ledgered — so adaptive plans can probe before they commit.
+        """
+        cost = self._mechanism_cost(epsilon, mechanism)
+        return self._tracker.would_accept(source, cost)
+
+    def headroom(self, source: str, mechanism: str = "laplace", tolerance: float = 1e-6) -> float:
+        """The largest mechanism parameter ε still chargeable on ``source``.
+
+        Found by bisection over the (monotone) filter decision; returns 0.0
+        when even an infinitesimal charge would be rejected.
+        """
+        remaining = self.remaining()
+        if remaining.is_zero:
+            return 0.0
+        # Grow the bracket until the filter rejects: the chargeable ε can
+        # exceed the native budget when the mechanism cost is sub-linear in
+        # ε (a ρ budget of 0.5 admits a Laplace ε of sqrt(2·0.5·…)).  Sixty
+        # doublings from the budget scale overshoots any real calculus; a
+        # cost rule that never rejects would mean an unbounded guarantee,
+        # so we return the bracket rather than loop forever.
+        high = max(self.accountant.budget.primary, 1.0)
+        for _ in range(60):
+            if not self._tracker.would_accept(source, self._mechanism_cost(high, mechanism)):
+                break
+            high *= 2.0
+        else:
+            return high
+        low = 0.0
+        while high - low > tolerance * max(high, 1.0):
+            mid = 0.5 * (low + high)
+            if mid <= 0.0:
+                break
+            if self._tracker.would_accept(source, self._mechanism_cost(mid, mechanism)):
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def _mechanism_cost(self, epsilon: float, mechanism: str) -> Cost:
+        if epsilon < 0:
+            raise ValueError("the probed mechanism parameter must be non-negative")
+        accountant = self.accountant
+        if mechanism == "laplace":
+            return accountant.laplace_cost(epsilon)
+        if mechanism == "exponential":
+            return accountant.exponential_cost(epsilon)
+        if mechanism == "gaussian":
+            _, cost = accountant.gaussian_mechanism(
+                1.0, epsilon, accountant.default_delta or 1e-6
+            )
+            return cost
+        if mechanism == "raw":
+            return accountant.raw_cost(epsilon)
+        raise ValueError(
+            f"unknown mechanism {mechanism!r}; expected laplace, gaussian, "
+            "exponential or raw"
+        )

@@ -13,6 +13,7 @@ from .error import (
     expected_query_error,
     expected_workload_error,
     mean_absolute_error,
+    measurement_noise_variance,
     per_query_l2_error,
     total_squared_error,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "total_squared_error",
     "expected_query_error",
     "expected_workload_error",
+    "measurement_noise_variance",
     "NaiveBayesModel",
     "fit_naive_bayes_from_histograms",
     "fit_naive_bayes_exact",

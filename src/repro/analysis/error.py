@@ -79,14 +79,47 @@ def total_squared_error(
     return float(difference @ difference)
 
 
+def measurement_noise_variance(
+    strategy: LinearQueryMatrix,
+    epsilon: float,
+    noise: str = "laplace",
+    delta: float = 1e-6,
+) -> float:
+    """Per-measurement noise variance of a strategy at a privacy target.
+
+    ``laplace``: ``2·(||A||₁/ε)²`` (Laplace noise has variance ``2b²``).
+    ``gaussian``: ``σ²`` with the analytic calibration
+    ``σ = ||A||₂·sqrt(2·ln(1.25/δ))/ε`` — the accountant-independent bound
+    (a zCDP accountant calibrates slightly tighter at the same target).
+    The L1-vs-L2 sensitivity split is the whole story of the Laplace/Gaussian
+    trade-off: strategies whose columns are long but spread out (Prefix,
+    dense hierarchies) have ``||A||₂ ≪ ||A||₁`` and win under Gaussian noise.
+    """
+    if noise == "laplace":
+        scale = strategy.sensitivity() / epsilon
+        return 2.0 * scale * scale
+    if noise == "gaussian":
+        from ..accounting.base import gaussian_analytic_sigma
+
+        sigma = gaussian_analytic_sigma(strategy.sensitivity_l2(), epsilon, delta)
+        return sigma * sigma
+    raise ValueError(f"unknown noise kind {noise!r}; expected 'laplace' or 'gaussian'")
+
+
 def expected_workload_error(
-    workload: LinearQueryMatrix, strategy: LinearQueryMatrix, epsilon: float = 1.0
+    workload: LinearQueryMatrix,
+    strategy: LinearQueryMatrix,
+    epsilon: float = 1.0,
+    noise: str = "laplace",
+    delta: float = 1e-6,
 ) -> float:
     """Expected total squared error of a workload answered via a strategy.
 
-    Matrix-mechanism formula ``2 ||A||₁² / ε² · tr(W (AᵀA)⁺ Wᵀ)`` (Laplace
-    noise has variance ``2b²``).  The Gram is built and factorised *once*
-    through the sparse-aware engine (:func:`build_normal_equations` consuming
+    Matrix-mechanism formula ``Var · tr(W (AᵀA)⁺ Wᵀ)`` where ``Var`` is the
+    per-measurement noise variance of :func:`measurement_noise_variance` —
+    ``2·||A||₁²/ε²`` for Laplace, ``σ²(ε, δ)`` from the L2 sensitivity for
+    Gaussian.  The Gram is built and factorised *once* through the
+    sparse-aware engine (:func:`build_normal_equations` consuming
     ``gram_auto()``), then workload rows are materialised in blocks and each
     block contributes ``Σᵢ qᵢ · solve(G, qᵢ)`` to the trace.  Rank-deficient
     strategies fall back to the factorisation's minimum-norm solve, matching
@@ -106,12 +139,15 @@ def expected_workload_error(
         rows = workload.rows(np.arange(lo, min(lo + _ERROR_ROW_BLOCK, num_queries)))
         solved = np.asarray(normal.solve(rows.T))
         trace += float(np.einsum("ij,ji->", rows, solved))
-    sensitivity = strategy.sensitivity()
-    return 2.0 * sensitivity**2 / epsilon**2 * trace
+    return measurement_noise_variance(strategy, epsilon, noise=noise, delta=delta) * trace
 
 
 def expected_query_error(
-    query: np.ndarray, strategy: LinearQueryMatrix, epsilon: float = 1.0
+    query: np.ndarray,
+    strategy: LinearQueryMatrix,
+    epsilon: float = 1.0,
+    noise: str = "laplace",
+    delta: float = 1e-6,
 ) -> float:
     """Expected squared error of one query answered via a strategy + least squares.
 
@@ -124,4 +160,6 @@ def expected_query_error(
         raise ValueError("expected_query_error takes a single 1-D query row")
     from ..matrix.dense import DenseMatrix
 
-    return expected_workload_error(DenseMatrix(query.reshape(1, -1)), strategy, epsilon)
+    return expected_workload_error(
+        DenseMatrix(query.reshape(1, -1)), strategy, epsilon, noise=noise, delta=delta
+    )

@@ -75,6 +75,15 @@ class VStack(LinearQueryMatrix):
     def square(self) -> LinearQueryMatrix:
         return VStack([m.square() for m in self.matrices])
 
+    def sensitivity_l2(self) -> float:
+        # Stacking concatenates each column's entries, so squared column
+        # norms add: each child contributes its diag(AᵀA) through its own
+        # closed form instead of a squared-matrix materialisation.
+        totals = self.matrices[0].diag_gram()
+        for m in self.matrices[1:]:
+            totals = totals + m.diag_gram()
+        return float(np.sqrt(np.max(totals)))
+
     def dense(self) -> np.ndarray:
         # Fill a preallocated output instead of np.vstack to avoid one full copy.
         out = np.empty(self.shape)
@@ -276,6 +285,12 @@ class Weighted(LinearQueryMatrix):
 
     def square(self) -> LinearQueryMatrix:
         return Weighted(self.base.square(), self.weight**2)
+
+    def sensitivity(self) -> float:
+        return abs(self.weight) * self.base.sensitivity()
+
+    def sensitivity_l2(self) -> float:
+        return abs(self.weight) * self.base.sensitivity_l2()
 
     def dense(self) -> np.ndarray:
         return self.weight * self.base.dense()

@@ -43,6 +43,9 @@ class DenseMatrix(LinearQueryMatrix):
     def gram_sparse(self) -> sp.csr_matrix:
         return sp.csr_matrix(self.array.T @ self.array)
 
+    def sensitivity_l2(self) -> float:
+        return float(np.sqrt(np.max(np.einsum("ij,ij->j", self.array, self.array))))
+
     def _build_strategy_key(self) -> tuple:
         return ("Dense", self.shape, _content_digest(self.array))
 
@@ -96,6 +99,10 @@ class SparseMatrix(LinearQueryMatrix):
     def gram_sparse(self) -> sp.csr_matrix:
         # A.T @ A natively in CSR — the structure never leaves sparse land.
         return (self.matrix.T @ self.matrix).tocsr()
+
+    def sensitivity_l2(self) -> float:
+        squared = self.matrix.multiply(self.matrix)
+        return float(np.sqrt(np.max(np.asarray(squared.sum(axis=0)))))
 
     def gram_nnz_estimate(self) -> int:
         # Row i contributes at most nnz(row_i)^2 index pairs to the Gram.

@@ -90,6 +90,10 @@ class ReductionMatrix(LinearQueryMatrix):
         # Exactly one 1 per column, so the reduction is a 1-stable transform.
         return 1.0
 
+    def sensitivity_l2(self) -> float:
+        # Each column holds a single 1, so its L2 norm equals its L1 norm.
+        return 1.0
+
     def dense(self) -> np.ndarray:
         out = np.zeros(self.shape)
         out[self.groups, np.arange(self.n)] = 1.0

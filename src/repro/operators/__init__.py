@@ -1,7 +1,13 @@
 """Operator library: transformations, measurements, selection, partition, inference."""
 
 from . import inference, partition, selection
-from .measurement import laplace_noise_scale, noisy_count, vector_laplace
+from .measurement import (
+    gaussian_noise_scale,
+    laplace_noise_scale,
+    noisy_count,
+    vector_gaussian,
+    vector_laplace,
+)
 from .transformation import (
     select,
     t_vectorize,
@@ -15,8 +21,10 @@ __all__ = [
     "partition",
     "selection",
     "vector_laplace",
+    "vector_gaussian",
     "noisy_count",
     "laplace_noise_scale",
+    "gaussian_noise_scale",
     "t_vectorize",
     "v_reduce_by_partition",
     "v_split_by_partition",

@@ -1,16 +1,21 @@
 """Measurement (query) operators — thin functional wrappers over the kernel.
 
-EKTELO has exactly two budget-spending query operators (Sec. 5.2): Vector
-Laplace for vector sources and NoisyCount for table sources.  Both live inside
-the protected kernel; these wrappers exist so plan code reads like the paper's
-pseudocode (``vector_laplace(x, M, eps)``) while all privacy enforcement stays
-in the kernel.
+EKTELO's paper has exactly two budget-spending query operators (Sec. 5.2):
+Vector Laplace for vector sources and NoisyCount for table sources.  This
+reproduction adds a third, Vector Gaussian, whose noise is calibrated to the
+query matrix's **L2** sensitivity and charged through the kernel's pluggable
+accountant (unavailable under pure ε-DP accounting — the Gaussian mechanism
+only gives ``(ε, δ)`` / zCDP guarantees).  All three live inside the
+protected kernel; these wrappers exist so plan code reads like the paper's
+pseudocode (``vector_laplace(x, M, eps)``) while all privacy enforcement
+stays in the kernel.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..accounting.base import gaussian_analytic_sigma
 from ..matrix import LinearQueryMatrix, ensure_matrix
 from ..private.protected import ProtectedDataSource
 
@@ -22,6 +27,20 @@ def vector_laplace(
     return source.vector_laplace(ensure_matrix(queries), epsilon)
 
 
+def vector_gaussian(
+    source: ProtectedDataSource,
+    queries: LinearQueryMatrix,
+    epsilon: float,
+    delta: float | None = None,
+) -> np.ndarray:
+    """Noisy answers ``M x + N(0, σ²)^m`` with σ from the kernel's accountant.
+
+    The per-call privacy target is ``(epsilon, delta)``; ``delta=None``
+    resolves to the accountant's per-measurement default.
+    """
+    return source.vector_gaussian(ensure_matrix(queries), epsilon, delta=delta)
+
+
 def noisy_count(source: ProtectedDataSource, epsilon: float) -> float:
     """Noisy cardinality ``|D| + Lap(1/eps)`` of a table source."""
     return source.noisy_count(epsilon)
@@ -30,3 +49,15 @@ def noisy_count(source: ProtectedDataSource, epsilon: float) -> float:
 def laplace_noise_scale(queries: LinearQueryMatrix, epsilon: float) -> float:
     """The noise scale Vector Laplace will use for this measurement (public)."""
     return ensure_matrix(queries).sensitivity() / epsilon
+
+
+def gaussian_noise_scale(
+    queries: LinearQueryMatrix, epsilon: float, delta: float
+) -> float:
+    """The σ the *analytic* Gaussian mechanism uses at an ``(ε, δ)`` target.
+
+    Public planning helper: ``||M||_2 · sqrt(2·ln(1.25/δ)) / ε``.  A zCDP
+    accountant calibrates tighter (``σ = ||M||_2 / sqrt(2ρ)``); this formula
+    is the accountant-independent upper bound plans can reason with.
+    """
+    return gaussian_analytic_sigma(ensure_matrix(queries).sensitivity_l2(), epsilon, delta)

@@ -27,6 +27,36 @@ from ..private.protected import ProtectedDataSource
 #: The matrix representations compared in the Sec. 10.2 scalability study.
 REPRESENTATIONS = ("implicit", "sparse", "dense")
 
+#: Noise mechanisms a plan's measurement step can resolve to.
+NOISE_KINDS = ("laplace", "gaussian")
+
+
+def measure_vector(
+    source: ProtectedDataSource,
+    queries: LinearQueryMatrix,
+    epsilon: float,
+    noise: str = "laplace",
+    delta: float | None = None,
+) -> np.ndarray:
+    """Run a plan's measurement step with the requested noise mechanism.
+
+    Plans call this instead of ``source.vector_laplace`` directly so a single
+    ``noise="laplace"|"gaussian"`` knob (threaded through ``plan_params`` by
+    the service) switches the mechanism without touching plan logic:
+    ``laplace`` is the paper's Vector Laplace; ``gaussian`` calibrates to the
+    matrix's L2 sensitivity and charges through the kernel's accountant
+    (``delta=None`` uses the accountant's per-measurement default — it is
+    rejected outright under pure ε-DP accounting).  Inference is unaffected:
+    a single measurement matrix carries one uniform noise scale either way,
+    and the per-row weighting of :func:`infer_least_squares` already covers
+    mixed-scale stacks.
+    """
+    if noise == "laplace":
+        return source.vector_laplace(queries, epsilon)
+    if noise == "gaussian":
+        return source.vector_gaussian(queries, epsilon, delta=delta)
+    raise ValueError(f"unknown noise kind {noise!r}; expected one of {NOISE_KINDS}")
+
 
 def infer_least_squares(
     measurements: LinearQueryMatrix,

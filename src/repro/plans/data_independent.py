@@ -20,20 +20,33 @@ from ..operators.selection import (
     wavelet_select,
 )
 from ..private.protected import ProtectedDataSource
-from .base import Plan, PlanResult, infer_least_squares, with_representation
+from .base import Plan, PlanResult, infer_least_squares, measure_vector, with_representation
 
 
 class _SelectMeasureInferPlan(Plan):
-    """Shared implementation of the select → Laplace → least-squares idiom.
+    """Shared implementation of the select → measure → least-squares idiom.
 
     ``inference_method=None`` (the default) defers to the service policy:
     LSMR stand-alone, shared normal equations when the scheduler provides its
     Gram cache.  Pass an explicit method to pin the solver either way.
+
+    ``noise`` picks the measurement mechanism: the paper's Vector Laplace
+    (default) or the Gaussian mechanism (L2-calibrated, charged through the
+    kernel's accountant — requires an (ε, δ)/zCDP accountant); ``delta``
+    optionally pins the per-call δ target of Gaussian measurements.
     """
 
-    def __init__(self, representation: str = "implicit", inference_method: str | None = None):
+    def __init__(
+        self,
+        representation: str = "implicit",
+        inference_method: str | None = None,
+        noise: str = "laplace",
+        delta: float | None = None,
+    ):
         self.representation = representation
         self.inference_method = inference_method
+        self.noise = noise
+        self.delta = delta
 
     def _select(self, source: ProtectedDataSource, **kwargs) -> LinearQueryMatrix:
         raise NotImplementedError
@@ -43,7 +56,9 @@ class _SelectMeasureInferPlan(Plan):
         measurements = with_representation(
             ensure_matrix(self._select(source, **kwargs)), self.representation
         )
-        answers = source.vector_laplace(measurements, epsilon)
+        answers = measure_vector(
+            source, measurements, epsilon, noise=self.noise, delta=self.delta
+        )
         estimate = infer_least_squares(
             measurements,
             answers,
@@ -66,13 +81,22 @@ class IdentityPlan(Plan):
     signature = "SI LM"
     plan_id = 1
 
-    def __init__(self, representation: str = "implicit"):
+    def __init__(
+        self,
+        representation: str = "implicit",
+        noise: str = "laplace",
+        delta: float | None = None,
+    ):
         self.representation = representation
+        self.noise = noise
+        self.delta = delta
 
     def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
         before = source.budget_consumed()
         measurements = with_representation(Identity(source.domain_size), self.representation)
-        answers = source.vector_laplace(measurements, epsilon)
+        answers = measure_vector(
+            source, measurements, epsilon, noise=self.noise, delta=self.delta
+        )
         return self._wrap(source, before, answers, num_measurements=measurements.shape[0])
 
 
@@ -83,10 +107,16 @@ class UniformPlan(Plan):
     signature = "ST LM LS"
     plan_id = 6
 
+    def __init__(self, noise: str = "laplace", delta: float | None = None):
+        self.noise = noise
+        self.delta = delta
+
     def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
         before = source.budget_consumed()
         n = source.domain_size
-        noisy_total = source.vector_laplace(Total(n), epsilon)[0]
+        noisy_total = measure_vector(
+            source, Total(n), epsilon, noise=self.noise, delta=self.delta
+        )[0]
         x_hat = np.full(n, max(noisy_total, 0.0) / n)
         return self._wrap(source, before, x_hat, num_measurements=1)
 
@@ -135,8 +165,10 @@ class GreedyHPlan(_SelectMeasureInferPlan):
         self,
         workload_intervals: list[tuple[int, int]] | None = None,
         representation: str = "implicit",
+        noise: str = "laplace",
+        delta: float | None = None,
     ):
-        super().__init__(representation=representation)
+        super().__init__(representation=representation, noise=noise, delta=delta)
         self.workload_intervals = workload_intervals
 
     def _select(self, source: ProtectedDataSource, **kwargs) -> LinearQueryMatrix:
@@ -150,8 +182,14 @@ class QuadtreePlan(_SelectMeasureInferPlan):
     signature = "SQ LM LS"
     plan_id = 10
 
-    def __init__(self, shape: tuple[int, int], representation: str = "implicit"):
-        super().__init__(representation=representation)
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        representation: str = "implicit",
+        noise: str = "laplace",
+        delta: float | None = None,
+    ):
+        super().__init__(representation=representation, noise=noise, delta=delta)
         self.shape = shape
 
     def _select(self, source: ProtectedDataSource, **kwargs) -> LinearQueryMatrix:
@@ -201,8 +239,14 @@ class HdmmPlan(_SelectMeasureInferPlan):
     signature = "SHD LM LS"
     plan_id = 13
 
-    def __init__(self, workload: LinearQueryMatrix, representation: str = "implicit"):
-        super().__init__(representation=representation)
+    def __init__(
+        self,
+        workload: LinearQueryMatrix,
+        representation: str = "implicit",
+        noise: str = "laplace",
+        delta: float | None = None,
+    ):
+        super().__init__(representation=representation, noise=noise, delta=delta)
         self.workload = ensure_matrix(workload)
 
     def _select(self, source: ProtectedDataSource, **kwargs) -> LinearQueryMatrix:

@@ -7,6 +7,7 @@ from .exceptions import (
     InvalidTransformationError,
     PrivacyError,
     UnknownSourceError,
+    UnsupportedMechanismError,
 )
 from .kernel import BudgetSnapshot, MeasurementRecord, ProtectedKernel
 from .protected import ProtectedDataSource, protect
@@ -28,4 +29,5 @@ __all__ = [
     "BudgetExceededError",
     "UnknownSourceError",
     "InvalidTransformationError",
+    "UnsupportedMechanismError",
 ]

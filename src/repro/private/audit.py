@@ -31,12 +31,22 @@ class SourceReport:
 
 @dataclass
 class BudgetAudit:
-    """Full audit of a kernel's privacy consumption."""
+    """Full audit of a kernel's privacy consumption.
+
+    Totals are in the accountant's *native* units (ε under pure /
+    approximate DP, ρ under zCDP); ``epsilon_reported`` / ``delta_reported``
+    carry the accountant's converted ``(ε, δ)`` statement covering the spend,
+    so audits of non-pure kernels still end in a DP guarantee a practitioner
+    can quote.
+    """
 
     epsilon_total: float
     consumed_at_root: float
     remaining: float
     sources: list[SourceReport]
+    accountant: str = "pure"
+    epsilon_reported: float = 0.0
+    delta_reported: float = 0.0
 
     @property
     def num_measurements(self) -> int:
@@ -45,9 +55,11 @@ class BudgetAudit:
     def to_text(self) -> str:
         """Render the audit as an aligned plain-text report."""
         lines = [
+            f"accountant          : {self.accountant}",
             f"global budget       : {self.epsilon_total:.6g}",
             f"consumed at the root: {self.consumed_at_root:.6g}",
             f"remaining           : {self.remaining:.6g}",
+            f"reported (eps,delta): ({self.epsilon_reported:.6g}, {self.delta_reported:.3g})",
             f"measurements        : {self.num_measurements}",
             "",
             f"{'source':<22} {'kind':<10} {'stability':>9} {'consumed':>9}  measurements",
@@ -87,11 +99,17 @@ def audit_kernel(kernel: ProtectedKernel) -> BudgetAudit:
                 measurements=by_source.get(name, []),
             )
         )
+    epsilon_reported, delta_reported = kernel.accountant.epsilon_delta(
+        kernel.budget_spent_cost()
+    )
     return BudgetAudit(
         epsilon_total=kernel.epsilon_total,
         consumed_at_root=kernel.budget_consumed(),
         remaining=kernel.budget_remaining(),
         sources=sources,
+        accountant=kernel.accountant.name,
+        epsilon_reported=epsilon_reported,
+        delta_reported=delta_reported,
     )
 
 

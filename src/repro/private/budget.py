@@ -1,4 +1,4 @@
-"""Privacy-budget accounting (Algorithm 2 of the paper).
+"""Privacy-budget accounting (Algorithm 2 of the paper, generalised).
 
 The protected kernel maintains a *transformation graph* over data-source
 variables.  Each node is one of:
@@ -8,17 +8,33 @@ variables.  Each node is one of:
 * a **partition** dummy node, whose children are the disjoint pieces produced
   by a SplitByPartition transformation.
 
-A measurement of a source ``sv`` with privacy parameter ``sigma`` triggers a
-recursive budget *request*:
+A measurement of a source ``sv`` with cost ``c`` triggers a recursive budget
+*request*:
 
-* at the root, the request succeeds iff ``B(root) + sigma <= eps_tot``;
+* at the root, the request succeeds iff the per-charge ledger plus ``c``
+  stays within the accountant's total budget;
 * at a derived node with stability factor ``s``, the request forwards
-  ``s * sigma`` to the parent (sequential composition through stability);
+  ``accountant.scale(c, s)`` to the parent (sequential composition through
+  stability — ``s·ε`` for pure/(ε, δ) accounting, ``s²·ρ`` for zCDP);
 * at a partition node, only the *increase of the maximum* over children is
-  forwarded (parallel composition): ``r = max(B(child) + sigma - B(node), 0)``.
+  forwarded (parallel composition): ``r = max(B(child) + c - B(node), 0)``,
+  componentwise over the cost vector.
 
-This module implements that bookkeeping independently of the data, so it can
-be unit-tested and property-tested in isolation.
+This module owns the lineage-stability bookkeeping only; *what* a mechanism
+costs, how costs scale through stability, and what the total budget is are
+delegated to a pluggable :class:`~repro.accounting.Accountant`.  With the
+default :class:`~repro.accounting.PureDPAccountant` the float trajectory is
+bit-identical to the original hard-coded ε tracker.
+
+Root-level acceptance is decided against an explicit per-charge ledger with
+a small absolute tolerance, rather than against a naive running float
+accumulator: a long sequence of small charges can no longer drift past
+``epsilon_total`` through accumulated rounding, and a charge that *exactly*
+exhausts the budget is no longer spuriously rejected because earlier
+additions rounded up.  The decision sum is maintained incrementally with
+Neumaier compensation — accurate to one rounding of the exact sum, like
+``math.fsum`` over the whole ledger, but O(1) per charge so service-rate
+bursts do not degrade quadratically.
 """
 
 from __future__ import annotations
@@ -26,6 +42,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
+
+from ..accounting.accountants import PureDPAccountant
+from ..accounting.base import Accountant, Cost
+
+#: Absolute tolerance of the root-level ledger check on the primary (ε or ρ)
+#: component.  The δ component uses the same tolerance scaled by the δ budget
+#: (δ totals are ~1e-6, so an absolute 1e-9 would be far too loose there).
+LEDGER_TOLERANCE = 1e-9
+
+
+class _CompensatedSum:
+    """Neumaier compensated running sum: fsum-grade accuracy, O(1) appends."""
+
+    __slots__ = ("_total", "_compensation")
+
+    def __init__(self):
+        self._total = 0.0
+        self._compensation = 0.0
+
+    def _parts_with(self, value: float) -> tuple[float, float]:
+        total = self._total + value
+        if abs(self._total) >= abs(value):
+            lost = (self._total - total) + value
+        else:
+            lost = (value - total) + self._total
+        return total, self._compensation + lost
+
+    def peek(self, value: float) -> float:
+        """The compensated total if ``value`` were added (no state change)."""
+        total, compensation = self._parts_with(value)
+        return total + compensation
+
+    def add(self, value: float) -> None:
+        self._total, self._compensation = self._parts_with(value)
+
+    @property
+    def value(self) -> float:
+        return self._total + self._compensation
 
 
 class NodeKind(Enum):
@@ -38,7 +92,13 @@ class NodeKind(Enum):
 
 @dataclass
 class BudgetNode:
-    """Bookkeeping state of one data-source variable."""
+    """Bookkeeping state of one data-source variable.
+
+    ``consumed`` / ``consumed_delta`` are the two components of the node's
+    accumulated :class:`~repro.accounting.Cost` — kept as plain floats
+    (updated with the same ``+=`` the seed tracker used) so pure-DP
+    trajectories stay bit-identical and audits read a bare ε number.
+    """
 
     name: str
     kind: NodeKind
@@ -46,22 +106,45 @@ class BudgetNode:
     #: stability factor of the transformation that derived this node from its
     #: parent (1 for the root and for partition dummy nodes).
     stability: float = 1.0
-    #: budget consumed by queries on this node or any of its descendants.
+    #: primary budget component (ε or ρ) consumed by queries on this node or
+    #: any of its descendants.
     consumed: float = 0.0
+    #: δ component consumed (identically 0 under pure ε-DP and zCDP).
+    consumed_delta: float = 0.0
     children: list[str] = field(default_factory=list)
+
+    @property
+    def spent(self) -> Cost:
+        return Cost(self.consumed, self.consumed_delta)
+
+    def _accumulate(self, cost: Cost) -> None:
+        self.consumed += cost.primary
+        self.consumed_delta += cost.delta
 
 
 class BudgetTracker:
     """Tracks per-source budget consumption and enforces the global budget."""
 
-    def __init__(self, epsilon_total: float, root_name: str = "root"):
-        if epsilon_total <= 0:
-            raise ValueError("the global privacy budget must be positive")
-        self.epsilon_total = float(epsilon_total)
+    def __init__(
+        self,
+        epsilon_total: float | None = None,
+        root_name: str = "root",
+        accountant: Accountant | None = None,
+    ):
+        if accountant is None:
+            accountant = PureDPAccountant(epsilon_total)
+        self.accountant = accountant
+        self.epsilon_total = accountant.budget.primary
         self.root_name = root_name
         self._nodes: dict[str, BudgetNode] = {
             root_name: BudgetNode(root_name, NodeKind.ROOT, parent=None, stability=1.0)
         }
+        #: every accepted root-level charge, in native units, plus the
+        #: compensated running sums acceptance is decided on (one rounding
+        #: away from the exact ledger sum, however long the ledger grows).
+        self._ledger: list[Cost] = []
+        self._ledger_primary = _CompensatedSum()
+        self._ledger_delta = _CompensatedSum()
 
     # ------------------------------------------------------------------
     # Graph construction.
@@ -95,30 +178,40 @@ class BudgetTracker:
         return self._nodes[name]
 
     # ------------------------------------------------------------------
-    # Algorithm 2.
+    # Algorithm 2, generalised over the accountant's cost vector.
     # ------------------------------------------------------------------
     def request(self, name: str, sigma: float) -> bool:
-        """Attempt to consume ``sigma`` budget on source ``name``.
+        """Attempt to consume ``sigma`` native budget units on source ``name``.
 
+        The scalar entry point the kernel's seed-era callers (and the pure
+        accountant) use; equivalent to :meth:`charge` with a δ-free cost.
         Returns ``True`` and updates the per-node counters if the request fits
         within the global budget; returns ``False`` (leaving all counters
-        unchanged) otherwise.  Mirrors Algorithm 2 exactly, including the
-        parallel-composition treatment of partition nodes.
+        unchanged) otherwise.
         """
         if sigma < 0:
             raise ValueError("budget requests must be non-negative")
+        return self.charge(name, self.accountant.raw_cost(sigma))
+
+    def charge(self, name: str, cost: Cost) -> bool:
+        """Attempt to consume ``cost`` (native units) on source ``name``.
+
+        Mirrors Algorithm 2 exactly, including the parallel-composition
+        treatment of partition nodes, with all arithmetic componentwise over
+        the accountant's cost vector.
+        """
+        if cost.primary < 0 or cost.delta < 0:
+            raise ValueError("budget requests must be non-negative")
         node = self.node(name)
         if node.kind is NodeKind.ROOT:
-            if node.consumed + sigma > self.epsilon_total + 1e-12:
+            if not self._ledger_accepts(cost):
                 return False
-            node.consumed += sigma
+            self._ledger.append(cost)
+            self._ledger_primary.add(cost.primary)
+            self._ledger_delta.add(cost.delta)
+            node._accumulate(cost)
             return True
         if node.kind is NodeKind.PARTITION:
-            # A request arriving at the partition node comes from one child
-            # whose consumption has already been (tentatively) increased; here
-            # we receive the child's *new* total via sigma being the increase
-            # requested at the child.  Following Algorithm 2 we forward only
-            # the increase of the maximum over children.
             raise RuntimeError(
                 "requests are never issued directly against a partition node; "
                 "they are forwarded from its children"
@@ -126,46 +219,117 @@ class BudgetTracker:
         # DERIVED node.
         parent = self._nodes[node.parent]
         if parent.kind is NodeKind.PARTITION:
-            increase = max(node.consumed + sigma - parent.consumed, 0.0)
+            increase = (node.spent + cost).increase_over(parent.spent)
             ok = self._forward_from_partition(parent, increase)
             if not ok:
                 return False
-            node.consumed += sigma
+            node._accumulate(cost)
             return True
-        ok = self.request(node.parent, node.stability * sigma)
+        ok = self.charge(node.parent, self.accountant.scale(cost, node.stability))
         if not ok:
             return False
-        node.consumed += sigma
+        node._accumulate(cost)
         return True
 
-    def _forward_from_partition(self, partition: BudgetNode, increase: float) -> bool:
+    def _forward_from_partition(self, partition: BudgetNode, increase: Cost) -> bool:
         """Forward a child's budget increase through a partition dummy node."""
-        if increase <= 0:
+        if increase.is_zero:
             return True
         grandparent_name = partition.parent
         grandparent = self._nodes[grandparent_name]
         if grandparent.kind is NodeKind.PARTITION:
             # Nested partitions: the partition node itself behaves like a child.
-            nested_increase = max(partition.consumed + increase - grandparent.consumed, 0.0)
+            nested_increase = (partition.spent + increase).increase_over(grandparent.spent)
             ok = self._forward_from_partition(grandparent, nested_increase)
         else:
             # The partition transformation itself is 1-stable.
-            ok = self.request(grandparent_name, partition.stability * increase)
+            ok = self.charge(
+                grandparent_name, self.accountant.scale(increase, partition.stability)
+            )
         if not ok:
             return False
-        partition.consumed += increase
+        partition._accumulate(increase)
         return True
+
+    def _ledger_accepts(self, cost: Cost) -> bool:
+        """Would the root-level ledger stay within budget after ``cost``?
+
+        The decision uses the compensated sum of the explicit per-charge
+        ledger — immune to the drift a naive running accumulator picks up
+        over many small charges — with :data:`LEDGER_TOLERANCE` slack so an
+        exactly budget-exhausting charge is accepted in the face of last-ulp
+        rounding.
+        """
+        budget = self.accountant.budget
+        if self._ledger_primary.peek(cost.primary) > budget.primary + LEDGER_TOLERANCE:
+            return False
+        if cost.delta or budget.delta:
+            delta = self._ledger_delta.peek(cost.delta)
+            if delta > budget.delta + LEDGER_TOLERANCE * max(budget.delta, 0.0):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Dry-run (the odometer's filter view).
+    # ------------------------------------------------------------------
+    def would_accept(self, name: str, cost: Cost) -> bool:
+        """Whether :meth:`charge` would succeed, without mutating any state.
+
+        Adaptive plans use this (through the odometer) to test a candidate
+        measurement against the remaining budget before committing to it.
+        """
+        if cost.primary < 0 or cost.delta < 0:
+            raise ValueError("budget requests must be non-negative")
+        node = self.node(name)
+        if node.kind is NodeKind.PARTITION:
+            raise RuntimeError(
+                "requests are never issued directly against a partition node; "
+                "they are forwarded from its children"
+            )
+        # Walk upward carrying the cost the next level up would receive,
+        # replicating charge()'s propagation read-only.  ``node`` may itself
+        # become a partition node along the way (a nested partition behaves
+        # like a child of its parent partition).
+        while node.kind is not NodeKind.ROOT:
+            parent = self._nodes[node.parent]
+            if parent.kind is NodeKind.PARTITION:
+                cost = (node.spent + cost).increase_over(parent.spent)
+                if cost.is_zero:
+                    return True
+            else:
+                cost = self.accountant.scale(cost, node.stability)
+            node = parent
+        return self._ledger_accepts(cost)
 
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
     def consumed(self, name: str = None) -> float:
-        """Budget consumed at ``name`` (default: at the root, i.e. globally)."""
+        """Primary budget consumed at ``name`` (default: at the root, i.e. globally)."""
         return self.node(name or self.root_name).consumed
 
+    def spent(self, name: str = None) -> Cost:
+        """Full cost vector consumed at ``name`` (default: at the root)."""
+        return self.node(name or self.root_name).spent
+
     def remaining(self) -> float:
-        """Remaining global budget."""
-        return self.epsilon_total - self._nodes[self.root_name].consumed
+        """Remaining global budget (primary component, native units).
+
+        Clamped at zero: an exactly budget-exhausting charge accepted through
+        the compensated ledger can leave the naive per-node accumulator a few
+        ulps above the total, and a negative remaining budget must never leak
+        into audits or error messages.
+        """
+        return max(self.epsilon_total - self._nodes[self.root_name].consumed, 0.0)
+
+    def remaining_cost(self) -> Cost:
+        """Remaining global budget as a cost vector (clamped at zero)."""
+        budget = self.accountant.budget
+        return budget.increase_over(self.spent())
+
+    def ledger(self) -> list[Cost]:
+        """A copy of the accepted root-level charges, in order."""
+        return list(self._ledger)
 
     def lineage(self, name: str) -> list[str]:
         """Chain of ancestors from ``name`` up to (and including) the root."""
@@ -184,3 +348,11 @@ class BudgetTracker:
             product *= node.stability
             node = self._nodes[node.parent]
         return product
+
+    def spending_nodes(self) -> list[BudgetNode]:
+        """Every node that has accumulated non-zero spend (for the odometer)."""
+        return [
+            node
+            for node in self._nodes.values()
+            if node.consumed > 0.0 or node.consumed_delta > 0.0
+        ]

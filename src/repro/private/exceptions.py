@@ -23,6 +23,11 @@ class BudgetExceededError(PrivacyError):
         )
 
 
+class UnsupportedMechanismError(PrivacyError):
+    """Raised when a measurement mechanism has no guarantee under the
+    kernel's accountant (e.g. the Gaussian mechanism under pure ε-DP)."""
+
+
 class UnknownSourceError(PrivacyError):
     """Raised when an operator references a data-source variable the kernel does not track."""
 

@@ -25,6 +25,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..accounting.base import Accountant, Cost
+from ..accounting.accountants import PureDPAccountant
 from ..dataset.relation import STABILITY, Relation
 from ..matrix import LinearQueryMatrix, ReductionMatrix, ensure_matrix
 from .budget import BudgetTracker
@@ -37,13 +39,22 @@ from .exceptions import (
 
 @dataclass
 class MeasurementRecord:
-    """One entry of the kernel's query history."""
+    """One entry of the kernel's query history.
+
+    ``epsilon`` is the mechanism's pure-DP parameter (or the ε of a Gaussian
+    measurement's per-call ``(ε, δ)`` target); ``cost`` is what the
+    accountant actually charged at the measured source in its *native* units
+    (equal to ``epsilon`` under pure accounting, e.g. ``ε²/2`` under zCDP),
+    and ``delta`` is the per-call δ component (0 for δ-free mechanisms).
+    """
 
     source: str
     operator: str
     epsilon: float
     noise_scale: float
     num_queries: int
+    delta: float = 0.0
+    cost: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -74,8 +85,26 @@ class _Source:
 class ProtectedKernel:
     """Holds the private data and enforces differential privacy for any plan."""
 
-    def __init__(self, table: Relation, epsilon_total: float, seed: int | None = None):
-        self._budget = BudgetTracker(epsilon_total)
+    def __init__(
+        self,
+        table: Relation,
+        epsilon_total: float | None = None,
+        seed: int | None = None,
+        accountant: Accountant | None = None,
+    ):
+        """Wrap ``table`` in a kernel enforcing the accountant's calculus.
+
+        ``accountant=None`` (the default) gives the paper's pure ε-DP
+        semantics over ``epsilon_total``; passing an
+        :class:`~repro.accounting.Accountant` swaps the privacy calculus
+        (budget totals, mechanism costs, composition) while the operator
+        surface stays identical.  When an accountant is supplied it carries
+        its own budget and ``epsilon_total`` is ignored.
+        """
+        if accountant is None:
+            accountant = PureDPAccountant(epsilon_total)
+        self._accountant = accountant
+        self._budget = BudgetTracker(accountant=accountant)
         self._sources: dict[str, _Source] = {
             "root": _Source("root", table, "table", {"schema": table.schema})
         }
@@ -112,14 +141,35 @@ class ProtectedKernel:
     # ------------------------------------------------------------------
     @property
     def epsilon_total(self) -> float:
+        """Total budget in the accountant's native units (ε, or ρ for zCDP)."""
         return self._budget.epsilon_total
 
+    @property
+    def accountant(self) -> Accountant:
+        """The privacy calculus this kernel charges against."""
+        return self._accountant
+
+    @property
+    def budget_tracker(self) -> BudgetTracker:
+        """The lineage ledger (public counters only; used by the odometer)."""
+        return self._budget
+
     def budget_consumed(self) -> float:
-        """Total budget consumed so far (at the root)."""
+        """Total budget consumed so far (at the root, native units)."""
         return self._budget.consumed()
 
     def budget_remaining(self) -> float:
         return self._budget.remaining()
+
+    def budget_spent_cost(self) -> Cost:
+        """Root-level spend as a full cost vector (primary + δ components)."""
+        return self._budget.spent()
+
+    def accounting_report(self) -> dict:
+        """JSON-ready spend summary in native units and converted ``(ε, δ)``."""
+        return self._accountant.report(
+            self._budget.spent(), self._budget.remaining_cost()
+        )
 
     @property
     def seed(self) -> int | None:
@@ -294,11 +344,11 @@ class ProtectedKernel:
     # ------------------------------------------------------------------
     # Private -> Public operators: measurements.
     # ------------------------------------------------------------------
-    def _charge(self, name: str, epsilon: float) -> None:
+    def _charge(self, name: str, epsilon: float, cost: Cost) -> None:
         if epsilon <= 0:
             raise ValueError("the privacy parameter of a measurement must be positive")
-        if not self._budget.request(name, epsilon):
-            raise BudgetExceededError(epsilon, self._budget.remaining())
+        if not self._budget.charge(name, cost):
+            raise BudgetExceededError(cost.primary, self._budget.remaining())
 
     def measure_vector_laplace(
         self, name: str, queries: LinearQueryMatrix, epsilon: float
@@ -315,21 +365,73 @@ class ProtectedKernel:
             raise InvalidTransformationError(
                 f"query matrix has {queries.shape[1]} columns but the vector has {vector.size} cells"
             )
-        self._charge(name, epsilon)
+        cost = self._accountant.laplace_cost(epsilon)
+        self._charge(name, epsilon, cost)
         sensitivity = queries.sensitivity()
         scale = sensitivity / epsilon
         answers = queries.matvec(vector)
         noise = self._rng.laplace(0.0, scale, size=queries.shape[0])
         self._history.append(
-            MeasurementRecord(name, "VectorLaplace", epsilon, scale, queries.shape[0])
+            MeasurementRecord(
+                name, "VectorLaplace", epsilon, scale, queries.shape[0], cost=cost.primary
+            )
+        )
+        return answers + noise
+
+    def measure_vector_gaussian(
+        self,
+        name: str,
+        queries: LinearQueryMatrix,
+        epsilon: float,
+        delta: float | None = None,
+    ) -> np.ndarray:
+        """Vector Gaussian: noisy answers ``M x + N(0, σ²)^m``.
+
+        The noise is calibrated to the matrix's **L2** sensitivity and the
+        per-call ``(ε, δ)`` target — σ and the charged cost both come from
+        the kernel's accountant, so the same call is the analytic Gaussian
+        mechanism under ``(ε, δ)`` accounting and the tighter
+        ``σ = Δ₂/sqrt(2ρ)`` calibration under zCDP.  ``delta=None`` resolves
+        to the accountant's per-measurement default.  Unsupported (raises
+        :class:`~repro.private.exceptions.UnsupportedMechanismError`) under
+        pure ε-DP, which the Gaussian mechanism cannot satisfy.
+        """
+        vector = self._vector(name)
+        queries = ensure_matrix(queries)
+        if queries.shape[1] != vector.size:
+            raise InvalidTransformationError(
+                f"query matrix has {queries.shape[1]} columns but the vector has {vector.size} cells"
+            )
+        if epsilon <= 0:
+            raise ValueError("the privacy parameter of a measurement must be positive")
+        if delta is None:
+            delta = self._accountant.default_delta
+        sensitivity = queries.sensitivity_l2()
+        sigma, cost = self._accountant.gaussian_mechanism(sensitivity, epsilon, delta)
+        self._charge(name, epsilon, cost)
+        answers = queries.matvec(vector)
+        noise = self._rng.normal(0.0, sigma, size=queries.shape[0])
+        self._history.append(
+            MeasurementRecord(
+                name,
+                "VectorGaussian",
+                epsilon,
+                sigma,
+                queries.shape[0],
+                delta=float(delta),
+                cost=cost.primary,
+            )
         )
         return answers + noise
 
     def measure_noisy_count(self, name: str, epsilon: float) -> float:
         """NoisyCount on a table source: ``|D| + Lap(1/eps)``."""
         table = self._table(name)
-        self._charge(name, epsilon)
-        self._history.append(MeasurementRecord(name, "NoisyCount", epsilon, 1.0 / epsilon, 1))
+        cost = self._accountant.laplace_cost(epsilon)
+        self._charge(name, epsilon, cost)
+        self._history.append(
+            MeasurementRecord(name, "NoisyCount", epsilon, 1.0 / epsilon, 1, cost=cost.primary)
+        )
         return float(len(table) + self._rng.laplace(0.0, 1.0 / epsilon))
 
     def select_exponential_mechanism(
@@ -347,7 +449,8 @@ class ProtectedKernel:
         PrivBayes network selection.
         """
         vector = self._vector(name)
-        self._charge(name, epsilon)
+        cost = self._accountant.exponential_cost(epsilon)
+        self._charge(name, epsilon, cost)
         utility = np.asarray(scores(vector), dtype=np.float64)
         if utility.shape != (num_candidates,):
             raise ValueError("score function returned the wrong number of candidates")
@@ -356,8 +459,18 @@ class ProtectedKernel:
         probabilities = np.exp(logits)
         probabilities /= probabilities.sum()
         choice = int(self._rng.choice(num_candidates, p=probabilities))
+        # The record's noise_scale is the mechanism's actual scale — scores
+        # are perturbed on the 2·Δu/ε temperature — not the bare score
+        # sensitivity an earlier revision stored there.
         self._history.append(
-            MeasurementRecord(name, "ExponentialMechanism", epsilon, score_sensitivity, 1)
+            MeasurementRecord(
+                name,
+                "ExponentialMechanism",
+                epsilon,
+                2.0 * score_sensitivity / epsilon,
+                1,
+                cost=cost.primary,
+            )
         )
         return choice
 
@@ -370,10 +483,13 @@ class ProtectedKernel:
         by vetted Private→Public operators such as the DAWA partition scoring.
         """
         vector = self._vector(name)
-        self._charge(name, epsilon)
+        cost = self._accountant.laplace_cost(epsilon)
+        self._charge(name, epsilon, cost)
         value = float(statistic(vector))
         scale = sensitivity / epsilon
-        self._history.append(MeasurementRecord(name, "LaplaceScalar", epsilon, scale, 1))
+        self._history.append(
+            MeasurementRecord(name, "LaplaceScalar", epsilon, scale, 1, cost=cost.primary)
+        )
         return value + float(self._rng.laplace(0.0, scale))
 
     # ------------------------------------------------------------------

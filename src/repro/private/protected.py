@@ -35,10 +35,19 @@ class ProtectedDataSource:
     # ------------------------------------------------------------------
     @classmethod
     def initialise(
-        cls, table: Relation, epsilon_total: float, seed: int | None = None
+        cls,
+        table: Relation,
+        epsilon_total: float | None = None,
+        seed: int | None = None,
+        accountant=None,
     ) -> "ProtectedDataSource":
-        """Create a protected kernel around ``table`` and return the root handle."""
-        kernel = ProtectedKernel(table, epsilon_total, seed=seed)
+        """Create a protected kernel around ``table`` and return the root handle.
+
+        ``accountant`` swaps the privacy calculus (see
+        :mod:`repro.accounting`); by default the kernel runs the paper's pure
+        ε-DP semantics over ``epsilon_total``.
+        """
+        kernel = ProtectedKernel(table, epsilon_total, seed=seed, accountant=accountant)
         return cls(kernel, "root")
 
     # ------------------------------------------------------------------
@@ -69,6 +78,17 @@ class ProtectedDataSource:
 
     def budget_remaining(self) -> float:
         return self._kernel.budget_remaining()
+
+    @property
+    def accountant(self):
+        """The kernel's privacy accountant (public configuration metadata)."""
+        return self._kernel.accountant
+
+    def odometer(self):
+        """Per-source spend / filter view over the kernel's accounting."""
+        from ..accounting.odometer import PrivacyOdometer
+
+        return PrivacyOdometer(self._kernel)
 
     # ------------------------------------------------------------------
     # Private operators (transformations) — return new handles.
@@ -123,6 +143,17 @@ class ProtectedDataSource:
         """Noisy answers to a set of linear queries on a vector source."""
         return self._kernel.measure_vector_laplace(self._name, queries, epsilon)
 
+    def vector_gaussian(
+        self, queries: LinearQueryMatrix, epsilon: float, delta: float | None = None
+    ) -> np.ndarray:
+        """Gaussian-noised answers calibrated to the queries' L2 sensitivity.
+
+        Charged through the kernel's accountant; unavailable under pure ε-DP
+        accounting.  ``delta=None`` uses the accountant's per-measurement
+        default.
+        """
+        return self._kernel.measure_vector_gaussian(self._name, queries, epsilon, delta=delta)
+
     def noisy_count(self, epsilon: float) -> float:
         """Noisy cardinality of a table source."""
         return self._kernel.measure_noisy_count(self._name, epsilon)
@@ -150,7 +181,12 @@ class ProtectedDataSource:
 
 
 def protect(
-    table: Relation, epsilon_total: float, seed: int | None = None
+    table: Relation,
+    epsilon_total: float | None = None,
+    seed: int | None = None,
+    accountant=None,
 ) -> ProtectedDataSource:
     """Shorthand for :meth:`ProtectedDataSource.initialise`."""
-    return ProtectedDataSource.initialise(table, epsilon_total, seed=seed)
+    return ProtectedDataSource.initialise(
+        table, epsilon_total, seed=seed, accountant=accountant
+    )

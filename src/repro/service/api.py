@@ -66,8 +66,13 @@ class QueryResponse:
     """Outcome of one scheduled request.
 
     ``epsilon_spent`` is the exact root-level budget delta the execution
-    caused on the session's kernel — zero for cache hits.  ``seed`` is the
-    noise seed the kernel used, so any response can be reproduced offline.
+    caused on the session's kernel — zero for cache hits — in the session
+    accountant's *native* units (bare ε under pure/approximate accounting, ρ
+    under zCDP).  ``accounting`` carries the session-level spend after this
+    request in both unit systems, including the accountant's converted
+    ``(ε, δ)`` statement, so clients of non-pure tenants can reconcile a DP
+    guarantee without re-deriving the calculus.  ``seed`` is the noise seed
+    the kernel used, so any response can be reproduced offline.
 
     .. warning:: Disclosing the seed assumes the recipient is trusted (the
        analyst/operator reproducibility story this reproduction targets):
@@ -88,6 +93,9 @@ class QueryResponse:
     seed: int | None
     info: dict
     elapsed_seconds: float
+    #: session-level accounting snapshot taken after this request (accountant
+    #: name, native spend, converted (ε, δ)); None only on legacy constructors.
+    accounting: dict | None = None
 
     @property
     def payload(self) -> np.ndarray:

@@ -43,11 +43,18 @@ def _session_report_locked(session: Session) -> dict:
         "budget_remaining": session.budget_remaining(),
         "num_requests": len(session.events),
         "num_cached": sum(1 for event in session.events if event.cached),
+        # The tenant's accountant choice and its converted (ε, δ) statement:
+        # budget totals above are native units (ρ for a zCDP session), this
+        # section is the DP guarantee a practitioner quotes.
+        "accounting": session.accounting_report(),
         "events": [asdict(event) for event in session.events],
         "kernel_audit": {
+            "accountant": audit.accountant,
             "epsilon_total": audit.epsilon_total,
             "consumed_at_root": audit.consumed_at_root,
             "remaining": audit.remaining,
+            "epsilon_reported": audit.epsilon_reported,
+            "delta_reported": audit.delta_reported,
             "num_measurements": audit.num_measurements,
             "sources": [asdict(source) for source in audit.sources],
         },

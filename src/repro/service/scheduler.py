@@ -104,6 +104,11 @@ class PlanScheduler:
             entry = self.measurement_cache.lookup(session, key)
             if entry is not None:
                 response = self.measurement_cache.replay(entry, request.request_id)
+                # The cached response carries the accounting snapshot of the
+                # request that paid for it; refresh to the session's current
+                # state (a replay spends nothing, but spend may have moved
+                # since the entry was stored).
+                response.accounting = session.accounting_report()
                 session.record(
                     SessionEvent(
                         request_id=request.request_id,
@@ -200,6 +205,7 @@ class PlanScheduler:
             seed=seed,
             info=dict(result.info),
             elapsed_seconds=time.perf_counter() - start,
+            accounting=session.accounting_report(),
         )
         self.measurement_cache.store(
             session, key, response, before.num_measurements, after.num_measurements

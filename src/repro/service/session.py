@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..accounting import Accountant, make_accountant
 from ..dataset.relation import Relation
 from ..private.kernel import BudgetSnapshot, MeasurementRecord, ProtectedKernel
 from ..private.protected import ProtectedDataSource
@@ -59,6 +60,8 @@ class Session:
         table: Relation,
         epsilon_total: float,
         seed: int | None = None,
+        accountant: str | Accountant | None = None,
+        delta: float = 1e-6,
     ):
         self.session_id = session_id
         self.tenant = tenant
@@ -70,7 +73,14 @@ class Session:
         self.base_seed = (
             int(np.random.SeedSequence().entropy) if seed is None else int(seed)
         )
-        self.kernel = ProtectedKernel(table, epsilon_total, seed=self.base_seed)
+        #: per-tenant privacy calculus: ``None``/``"pure"`` is the paper's
+        #: ε-DP; ``"approx"``/``"zcdp"`` resolve against the tenant's
+        #: ``(epsilon_total, delta)`` target; an Accountant instance is used
+        #: as-is (its own budget wins over ``epsilon_total``).
+        self.accountant = make_accountant(accountant, epsilon_total, delta=delta)
+        self.kernel = ProtectedKernel(
+            table, epsilon_total, seed=self.base_seed, accountant=self.accountant
+        )
         #: opaque scope token distinguishing this Session object from any
         #: earlier one that carried the same session id (cache isolation).
         self.cache_scope = next(_CACHE_SCOPES)
@@ -116,6 +126,16 @@ class Session:
     def budget_snapshot(self) -> BudgetSnapshot:
         return self.kernel.budget_snapshot()
 
+    def accounting_report(self) -> dict:
+        """Spend in the accountant's native units plus converted ``(ε, δ)``.
+
+        Budget counters (``budget_consumed`` / ``epsilon_spent`` on events)
+        are native units — bare ε for pure/approximate DP, ρ for zCDP; this
+        report is where a zCDP session's spend becomes a quotable DP
+        statement for audits and client dashboards.
+        """
+        return self.kernel.accounting_report()
+
     def next_request_id(self) -> str:
         """Sequential request ids; also the anchor of per-request seeding."""
         return f"{self.session_id}-r{next(self._request_counter)}"
@@ -160,14 +180,30 @@ class SessionManager:
         epsilon_total: float,
         seed: int | None = None,
         session_id: str | None = None,
+        accountant: str | Accountant | None = None,
+        delta: float = 1e-6,
     ) -> Session:
-        """Open a session for ``tenant`` around a fresh protected kernel."""
+        """Open a session for ``tenant`` around a fresh protected kernel.
+
+        ``accountant`` picks the tenant's privacy calculus (``"pure"``,
+        ``"approx"``, ``"zcdp"`` or an :class:`~repro.accounting.Accountant`
+        instance); ``delta`` is the δ of the tenant's ``(ε, δ)`` target for
+        the non-pure accountants.
+        """
         with self._lock:
             if session_id is None:
                 session_id = f"{tenant}-s{next(self._counter)}"
             if session_id in self._sessions:
                 raise ValueError(f"session {session_id!r} already exists")
-            session = Session(session_id, tenant, table, epsilon_total, seed=seed)
+            session = Session(
+                session_id,
+                tenant,
+                table,
+                epsilon_total,
+                seed=seed,
+                accountant=accountant,
+                delta=delta,
+            )
             self._sessions[session_id] = session
             return session
 
