@@ -36,6 +36,7 @@ from scipy.sparse.linalg import factorized, lsmr
 
 from ...matrix import LinearQueryMatrix, ensure_matrix
 from ...matrix.combinators import VStack
+from ...telemetry.spans import trace_span
 
 
 class SupportsGetOrBuild(Protocol):
@@ -114,27 +115,35 @@ def build_normal_equations(
     the representation), ``"sparse"`` (force CSR + sparse LU) or ``"dense"``
     (force the blocked dense Gram kernel + Cholesky).
     """
-    if prefer == "auto":
-        gram = queries.gram_auto()
-    elif prefer == "sparse":
-        gram = queries.gram_sparse()
-    elif prefer == "dense":
-        gram = queries.gram_dense()
-    else:
-        raise ValueError(f"unknown Gram preference {prefer!r}")
-    if sp.issparse(gram):
-        gram = gram.tocsr()
+    with trace_span(
+        "solve.build_normal_equations",
+        prefer=prefer,
+        rows=int(queries.shape[0]),
+        cols=int(queries.shape[1]),
+    ) as span:
+        if prefer == "auto":
+            gram = queries.gram_auto()
+        elif prefer == "sparse":
+            gram = queries.gram_sparse()
+        elif prefer == "dense":
+            gram = queries.gram_dense()
+        else:
+            raise ValueError(f"unknown Gram preference {prefer!r}")
+        if sp.issparse(gram):
+            gram = gram.tocsr()
+            try:
+                lu = factorized(gram.tocsc())
+            except RuntimeError:
+                # Exactly singular: solves fall back to the pseudo-inverse.
+                lu = None
+            span.set_attributes(gram_kind="sparse", gram_nnz=int(gram.nnz))
+            return NormalEquations(gram, cho=None, lu=lu)
         try:
-            lu = factorized(gram.tocsc())
-        except RuntimeError:
-            # Exactly singular: solves fall back to the pseudo-inverse.
-            lu = None
-        return NormalEquations(gram, cho=None, lu=lu)
-    try:
-        cho = cho_factor(gram)
-    except np.linalg.LinAlgError:
-        cho = None
-    return NormalEquations(gram, cho)
+            cho = cho_factor(gram)
+        except np.linalg.LinAlgError:
+            cho = None
+        span.set_attribute("gram_kind", "dense")
+        return NormalEquations(gram, cho)
 
 
 def _apply_weights(
@@ -234,34 +243,51 @@ def least_squares(
         tall_skinny = m >= aspect * n and n <= _AUTO_NORMAL_MAX_DOMAIN
         method = "normal" if tall_skinny else "lsmr"
 
-    if method == "direct":
-        dense = queries.dense()
-        x_hat, residuals, _, _ = np.linalg.lstsq(dense, answers, rcond=None)
-        residual = scale * float(np.linalg.norm(dense @ x_hat - answers))
-        return InferenceResult(x_hat, iterations=1, residual_norm=residual)
-    if method == "normal":
-        if gram_cache is not None:
-            if gram_key is None:
-                gram_key = queries.strategy_key()
-            normal = gram_cache.get_or_build(
-                ("least_squares_gram", gram_key), lambda: build_normal_equations(queries)
-            )
-        else:
-            normal = build_normal_equations(queries)
-        x_hat = normal.solve(queries.rmatvec(answers))
-        residual = scale * float(np.linalg.norm(queries.matvec(x_hat) - answers))
-        return InferenceResult(np.asarray(x_hat), iterations=1, residual_norm=residual)
-    if method != "lsmr":
-        raise ValueError(f"unknown least-squares method {method!r}")
+    with trace_span(
+        "solve.least_squares",
+        method=method,
+        rows=int(queries.shape[0]),
+        cols=int(queries.shape[1]),
+    ) as span:
+        if method == "direct":
+            dense = queries.dense()
+            x_hat, residuals, _, _ = np.linalg.lstsq(dense, answers, rcond=None)
+            residual = scale * float(np.linalg.norm(dense @ x_hat - answers))
+            span.set_attributes(iterations=1, residual_norm=residual)
+            return InferenceResult(x_hat, iterations=1, residual_norm=residual)
+        if method == "normal":
+            if gram_cache is not None:
+                if gram_key is None:
+                    gram_key = queries.strategy_key()
+                # The builder only runs on a miss, so an empty flag list after
+                # get_or_build means the factorisation came from the cache —
+                # works for any SupportsGetOrBuild, not just ArtifactCache.
+                built: list[bool] = []
 
-    operator = queries.as_linear_operator()
-    if max_iterations is None:
-        max_iterations = max(2 * queries.shape[1], 100)
-    solution = lsmr(operator, answers, atol=tolerance, btol=tolerance, maxiter=max_iterations)
-    x_hat, istop, itn, normr = solution[0], solution[1], solution[2], solution[3]
-    return InferenceResult(
-        np.asarray(x_hat), iterations=int(itn), residual_norm=scale * float(normr)
-    )
+                def _build():
+                    built.append(True)
+                    return build_normal_equations(queries)
+
+                normal = gram_cache.get_or_build(("least_squares_gram", gram_key), _build)
+                span.set_attribute("gram_cache_hit", not built)
+            else:
+                normal = build_normal_equations(queries)
+            x_hat = normal.solve(queries.rmatvec(answers))
+            residual = scale * float(np.linalg.norm(queries.matvec(x_hat) - answers))
+            span.set_attributes(iterations=1, residual_norm=residual)
+            return InferenceResult(np.asarray(x_hat), iterations=1, residual_norm=residual)
+        if method != "lsmr":
+            raise ValueError(f"unknown least-squares method {method!r}")
+
+        operator = queries.as_linear_operator()
+        if max_iterations is None:
+            max_iterations = max(2 * queries.shape[1], 100)
+        solution = lsmr(operator, answers, atol=tolerance, btol=tolerance, maxiter=max_iterations)
+        x_hat, istop, itn, normr = solution[0], solution[1], solution[2], solution[3]
+        span.set_attributes(iterations=int(itn), residual_norm=scale * float(normr))
+        return InferenceResult(
+            np.asarray(x_hat), iterations=int(itn), residual_norm=scale * float(normr)
+        )
 
 
 def least_squares_from_parts(

@@ -23,12 +23,24 @@ import numpy as np
 
 from ..matrix import DenseMatrix, LinearQueryMatrix, SparseMatrix, ensure_matrix
 from ..private.protected import ProtectedDataSource
+from ..telemetry.spans import trace_span
 
 #: The matrix representations compared in the Sec. 10.2 scalability study.
 REPRESENTATIONS = ("implicit", "sparse", "dense")
 
 #: Noise mechanisms a plan's measurement step can resolve to.
 NOISE_KINDS = ("laplace", "gaussian")
+
+
+def plan_stage(name: str, **attributes):
+    """Open a ``plan.stage.<name>`` span on the active tracer (no-op default).
+
+    Plans bracket their operator stages (select, partition, measure, infer,
+    update rounds) with this helper so a traced service request decomposes
+    into exactly the operator composition the paper's plan signatures
+    describe.  With no active tracer it returns the shared no-op handle.
+    """
+    return trace_span(f"plan.stage.{name}", **attributes)
 
 
 def measure_vector(
@@ -52,9 +64,11 @@ def measure_vector(
     mixed-scale stacks.
     """
     if noise == "laplace":
-        return source.vector_laplace(queries, epsilon)
+        with plan_stage("measure", noise=noise, epsilon=float(epsilon), rows=int(queries.shape[0])):
+            return source.vector_laplace(queries, epsilon)
     if noise == "gaussian":
-        return source.vector_gaussian(queries, epsilon, delta=delta)
+        with plan_stage("measure", noise=noise, epsilon=float(epsilon), rows=int(queries.shape[0])):
+            return source.vector_gaussian(queries, epsilon, delta=delta)
     raise ValueError(f"unknown noise kind {noise!r}; expected one of {NOISE_KINDS}")
 
 
@@ -81,9 +95,15 @@ def infer_least_squares(
 
     if method is None:
         method = "auto" if gram_cache is not None else "lsmr"
-    return least_squares(
-        measurements, answers, method=method, gram_cache=gram_cache, **kwargs
-    )
+    with plan_stage("infer", method=method, shared_gram=gram_cache is not None) as span:
+        estimate = least_squares(
+            measurements, answers, method=method, gram_cache=gram_cache, **kwargs
+        )
+        span.set_attributes(
+            iterations=int(estimate.iterations),
+            residual_norm=float(estimate.residual_norm),
+        )
+        return estimate
 
 
 def with_representation(matrix: LinearQueryMatrix, representation: str) -> LinearQueryMatrix:

@@ -15,7 +15,14 @@ from ..operators.partition import ahp_partition, dawa_partition
 from ..operators.selection import adaptive_grid_select, greedy_h_select, uniform_grid_select
 from ..operators.selection.worst_approx import worst_approximated
 from ..private.protected import ProtectedDataSource
-from .base import Plan, PlanResult, infer_least_squares, measure_vector, with_representation
+from .base import (
+    Plan,
+    PlanResult,
+    infer_least_squares,
+    measure_vector,
+    plan_stage,
+    with_representation,
+)
 
 
 class MwemPlan(Plan):
@@ -72,29 +79,37 @@ class MwemPlan(Plan):
         per_round = remaining / self.rounds
         history: list[tuple[np.ndarray, np.ndarray, float]] = []
 
-        for _ in range(self.rounds):
-            _, row = worst_approximated(source, self.workload, x_hat, per_round / 2.0)
-            from ..matrix.dense import DenseMatrix
-
-            measurement = DenseMatrix(row.reshape(1, -1))
-            noisy = measure_vector(
-                source, measurement, per_round / 2.0, noise=self.noise, delta=self.delta
-            )[0]
-            # The row's support is extracted once here; every later history
-            # replay exponentiates only on it (bit-identical to the dense
-            # update — exp(0) = 1 — but free of full-domain exp calls).
-            # Near-dense rows keep the plain update: the gather would cost
-            # more than the exps it saves.
-            support = np.flatnonzero(row)
-            history.append((row, support if 2 * support.size <= n else None, noisy))
-            # Multiplicative-weights update over the full history (several passes).
-            for _ in range(self.history_passes):
-                for past_row, past_support, past_answer in history:
-                    x_hat = mwem_update(
-                        x_hat, past_row, past_answer, total, support=past_support
-                    )
+        for round_index in range(self.rounds):
+            with plan_stage(
+                "mwem_round", plan=self.name, round=round_index, epsilon=per_round
+            ):
+                x_hat = self._round(source, x_hat, total, per_round, history, n)
 
         return self._wrap(source, before, x_hat, rounds=self.rounds, total_estimate=total)
+
+    def _round(self, source, x_hat, total, per_round, history, n):
+        """One MWEM round: select worst query, measure it, replay history."""
+        _, row = worst_approximated(source, self.workload, x_hat, per_round / 2.0)
+        from ..matrix.dense import DenseMatrix
+
+        measurement = DenseMatrix(row.reshape(1, -1))
+        noisy = measure_vector(
+            source, measurement, per_round / 2.0, noise=self.noise, delta=self.delta
+        )[0]
+        # The row's support is extracted once here; every later history
+        # replay exponentiates only on it (bit-identical to the dense
+        # update — exp(0) = 1 — but free of full-domain exp calls).
+        # Near-dense rows keep the plain update: the gather would cost
+        # more than the exps it saves.
+        support = np.flatnonzero(row)
+        history.append((row, support if 2 * support.size <= n else None, noisy))
+        # Multiplicative-weights update over the full history (several passes).
+        for _ in range(self.history_passes):
+            for past_row, past_support, past_answer in history:
+                x_hat = mwem_update(
+                    x_hat, past_row, past_answer, total, support=past_support
+                )
+        return x_hat
 
 
 class AhpPlan(Plan):
@@ -120,9 +135,11 @@ class AhpPlan(Plan):
         before = source.budget_consumed()
         partition_epsilon = self.partition_share * epsilon
         measure_epsilon = epsilon - partition_epsilon
-        partition = ahp_partition(
-            source, partition_epsilon, eta=self.eta, gap_ratio=self.gap_ratio
-        )
+        with plan_stage("partition", plan=self.name, epsilon=partition_epsilon) as span:
+            partition = ahp_partition(
+                source, partition_epsilon, eta=self.eta, gap_ratio=self.gap_ratio
+            )
+            span.set_attribute("num_groups", int(partition.num_groups))
         reduced = source.reduce_by_partition(partition)
         measurements = with_representation(
             Identity(reduced.domain_size), self.representation
@@ -169,12 +186,16 @@ class DawaPlan(Plan):
         before = source.budget_consumed()
         partition_epsilon = self.partition_share * epsilon
         measure_epsilon = epsilon - partition_epsilon
-        partition = dawa_partition(source, partition_epsilon)
+        with plan_stage("partition", plan=self.name, epsilon=partition_epsilon) as span:
+            partition = dawa_partition(source, partition_epsilon)
+            span.set_attribute("num_groups", int(partition.num_groups))
         reduced = source.reduce_by_partition(partition)
         intervals = self._reduced_intervals(partition)
-        measurements = with_representation(
-            greedy_h_select(reduced.domain_size, intervals), self.representation
-        )
+        with plan_stage("select", plan=self.name) as span:
+            measurements = with_representation(
+                greedy_h_select(reduced.domain_size, intervals), self.representation
+            )
+            span.set_attribute("num_measurements", int(measurements.shape[0]))
         answers = reduced.vector_laplace(measurements, measure_epsilon)
         # The DAWA partition is rebuilt from fresh DP noise on every request,
         # so its reduced-domain strategy (and Gram) is one-off: solve with

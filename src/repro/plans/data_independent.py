@@ -20,7 +20,14 @@ from ..operators.selection import (
     wavelet_select,
 )
 from ..private.protected import ProtectedDataSource
-from .base import Plan, PlanResult, infer_least_squares, measure_vector, with_representation
+from .base import (
+    Plan,
+    PlanResult,
+    infer_least_squares,
+    measure_vector,
+    plan_stage,
+    with_representation,
+)
 
 
 class _SelectMeasureInferPlan(Plan):
@@ -53,9 +60,11 @@ class _SelectMeasureInferPlan(Plan):
 
     def run(self, source: ProtectedDataSource, epsilon: float, **kwargs) -> PlanResult:
         before = source.budget_consumed()
-        measurements = with_representation(
-            ensure_matrix(self._select(source, **kwargs)), self.representation
-        )
+        with plan_stage("select", plan=self.name) as span:
+            measurements = with_representation(
+                ensure_matrix(self._select(source, **kwargs)), self.representation
+            )
+            span.set_attribute("num_measurements", int(measurements.shape[0]))
         answers = measure_vector(
             source, measurements, epsilon, noise=self.noise, delta=self.delta
         )

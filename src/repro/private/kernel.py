@@ -29,6 +29,7 @@ from ..accounting.base import Accountant, Cost
 from ..accounting.accountants import PureDPAccountant
 from ..dataset.relation import STABILITY, Relation
 from ..matrix import LinearQueryMatrix, ReductionMatrix, ensure_matrix
+from ..telemetry.spans import trace_span
 from .budget import BudgetTracker
 from .exceptions import (
     BudgetExceededError,
@@ -242,28 +243,40 @@ class ProtectedKernel:
     def transform_where(self, name: str, predicate) -> str:
         """Filter records (1-stable)."""
         table = self._table(name)
-        new = self._fresh_name("where")
-        self._sources[new] = _Source(new, table.where(predicate), "table")
-        self._budget.add_derived(new, name, STABILITY["where"])
-        return new
+        with trace_span(
+            "kernel.transform.where", source=name, stability=STABILITY["where"]
+        ):
+            new = self._fresh_name("where")
+            self._sources[new] = _Source(new, table.where(predicate), "table")
+            self._budget.add_derived(new, name, STABILITY["where"])
+            return new
 
     def transform_select(self, name: str, attributes: Sequence[str]) -> str:
         """Project onto a subset of attributes (1-stable)."""
         table = self._table(name)
-        new = self._fresh_name("select")
-        self._sources[new] = _Source(new, table.select(attributes), "table")
-        self._budget.add_derived(new, name, STABILITY["select"])
-        return new
+        with trace_span(
+            "kernel.transform.select", source=name, stability=STABILITY["select"]
+        ):
+            new = self._fresh_name("select")
+            self._sources[new] = _Source(new, table.select(attributes), "table")
+            self._budget.add_derived(new, name, STABILITY["select"])
+            return new
 
     def transform_vectorize(self, name: str) -> str:
         """T-Vectorize: turn a table into its histogram vector (1-stable)."""
         table = self._table(name)
-        new = self._fresh_name("vector")
-        self._sources[new] = _Source(
-            new, table.vectorize(), "vector", {"domain": table.schema.domain}
-        )
-        self._budget.add_derived(new, name, STABILITY["vectorize"])
-        return new
+        with trace_span(
+            "kernel.transform.vectorize",
+            source=name,
+            stability=STABILITY["vectorize"],
+            domain_size=int(table.domain_size),
+        ):
+            new = self._fresh_name("vector")
+            self._sources[new] = _Source(
+                new, table.vectorize(), "vector", {"domain": table.schema.domain}
+            )
+            self._budget.add_derived(new, name, STABILITY["vectorize"])
+            return new
 
     def transform_group_by(self, name: str, attribute: str) -> dict[int, str]:
         """GroupBy an attribute (2-stable); returns value → new source variable."""
@@ -286,10 +299,17 @@ class ProtectedKernel:
             raise InvalidTransformationError(
                 f"partition has {partition.shape[1]} columns but the vector has {vector.size} cells"
             )
-        new = self._fresh_name("reduce")
-        self._sources[new] = _Source(new, partition.reduce_vector(vector), "vector")
-        self._budget.add_derived(new, name, partition.sensitivity())
-        return new
+        with trace_span(
+            "kernel.transform.reduce_by_partition",
+            source=name,
+            input_size=int(vector.size),
+            output_size=int(partition.shape[0]),
+            stability=float(partition.sensitivity()),
+        ):
+            new = self._fresh_name("reduce")
+            self._sources[new] = _Source(new, partition.reduce_vector(vector), "vector")
+            self._budget.add_derived(new, name, partition.sensitivity())
+            return new
 
     def transform_linear(self, name: str, matrix: LinearQueryMatrix) -> str:
         """Generic linear vector transformation ``x' = M x``.
@@ -300,10 +320,17 @@ class ProtectedKernel:
         matrix = ensure_matrix(matrix)
         if matrix.shape[1] != vector.size:
             raise InvalidTransformationError("matrix column count does not match the vector")
-        new = self._fresh_name("linear")
-        self._sources[new] = _Source(new, matrix.matvec(vector), "vector")
-        self._budget.add_derived(new, name, matrix.sensitivity())
-        return new
+        with trace_span(
+            "kernel.transform.linear",
+            source=name,
+            input_size=int(vector.size),
+            output_size=int(matrix.shape[0]),
+            stability=float(matrix.sensitivity()),
+        ):
+            new = self._fresh_name("linear")
+            self._sources[new] = _Source(new, matrix.matvec(vector), "vector")
+            self._budget.add_derived(new, name, matrix.sensitivity())
+            return new
 
     def transform_split_by_partition(
         self, name: str, partition: ReductionMatrix
@@ -316,16 +343,22 @@ class ProtectedKernel:
         vector = self._vector(name)
         if partition.shape[1] != vector.size:
             raise InvalidTransformationError("partition does not match the vector size")
-        dummy = self._fresh_name("partition")
-        self._sources[dummy] = _Source(dummy, None, "partition")
-        self._budget.add_partition(dummy, name)
-        children = []
-        for g, idx in enumerate(partition.split_indices()):
-            child = self._fresh_name(f"split{g}")
-            self._sources[child] = _Source(child, vector[idx], "vector", {"indices": idx})
-            self._budget.add_derived(child, dummy, 1.0)
-            children.append(child)
-        return dummy, children
+        with trace_span(
+            "kernel.transform.split_by_partition",
+            source=name,
+            input_size=int(vector.size),
+            num_groups=int(partition.shape[0]),
+        ):
+            dummy = self._fresh_name("partition")
+            self._sources[dummy] = _Source(dummy, None, "partition")
+            self._budget.add_partition(dummy, name)
+            children = []
+            for g, idx in enumerate(partition.split_indices()):
+                child = self._fresh_name(f"split{g}")
+                self._sources[child] = _Source(child, vector[idx], "vector", {"indices": idx})
+                self._budget.add_derived(child, dummy, 1.0)
+                children.append(child)
+            return dummy, children
 
     def transform_table_split(self, name: str, attribute: str) -> tuple[str, dict[int, str]]:
         """SplitByPartition on a table keyed by an attribute's value (1-stable)."""
@@ -365,18 +398,30 @@ class ProtectedKernel:
             raise InvalidTransformationError(
                 f"query matrix has {queries.shape[1]} columns but the vector has {vector.size} cells"
             )
-        cost = self._accountant.laplace_cost(epsilon)
-        self._charge(name, epsilon, cost)
-        sensitivity = queries.sensitivity()
-        scale = sensitivity / epsilon
-        answers = queries.matvec(vector)
-        noise = self._rng.laplace(0.0, scale, size=queries.shape[0])
-        self._history.append(
-            MeasurementRecord(
-                name, "VectorLaplace", epsilon, scale, queries.shape[0], cost=cost.primary
+        with trace_span(
+            "kernel.measure.laplace",
+            source=name,
+            epsilon=float(epsilon),
+            num_queries=int(queries.shape[0]),
+            domain_size=int(vector.size),
+        ) as span:
+            cost = self._accountant.laplace_cost(epsilon)
+            self._charge(name, epsilon, cost)
+            sensitivity = queries.sensitivity()
+            scale = sensitivity / epsilon
+            span.set_attributes(
+                cost=float(cost.primary),
+                sensitivity=float(sensitivity),
+                noise_scale=float(scale),
             )
-        )
-        return answers + noise
+            answers = queries.matvec(vector)
+            noise = self._rng.laplace(0.0, scale, size=queries.shape[0])
+            self._history.append(
+                MeasurementRecord(
+                    name, "VectorLaplace", epsilon, scale, queries.shape[0], cost=cost.primary
+                )
+            )
+            return answers + noise
 
     def measure_vector_gaussian(
         self,
@@ -406,33 +451,50 @@ class ProtectedKernel:
             raise ValueError("the privacy parameter of a measurement must be positive")
         if delta is None:
             delta = self._accountant.default_delta
-        sensitivity = queries.sensitivity_l2()
-        sigma, cost = self._accountant.gaussian_mechanism(sensitivity, epsilon, delta)
-        self._charge(name, epsilon, cost)
-        answers = queries.matvec(vector)
-        noise = self._rng.normal(0.0, sigma, size=queries.shape[0])
-        self._history.append(
-            MeasurementRecord(
-                name,
-                "VectorGaussian",
-                epsilon,
-                sigma,
-                queries.shape[0],
-                delta=float(delta),
-                cost=cost.primary,
+        with trace_span(
+            "kernel.measure.gaussian",
+            source=name,
+            epsilon=float(epsilon),
+            delta=float(delta),
+            num_queries=int(queries.shape[0]),
+            domain_size=int(vector.size),
+        ) as span:
+            sensitivity = queries.sensitivity_l2()
+            sigma, cost = self._accountant.gaussian_mechanism(sensitivity, epsilon, delta)
+            self._charge(name, epsilon, cost)
+            span.set_attributes(
+                cost=float(cost.primary),
+                sensitivity_l2=float(sensitivity),
+                noise_scale=float(sigma),
             )
-        )
-        return answers + noise
+            answers = queries.matvec(vector)
+            noise = self._rng.normal(0.0, sigma, size=queries.shape[0])
+            self._history.append(
+                MeasurementRecord(
+                    name,
+                    "VectorGaussian",
+                    epsilon,
+                    sigma,
+                    queries.shape[0],
+                    delta=float(delta),
+                    cost=cost.primary,
+                )
+            )
+            return answers + noise
 
     def measure_noisy_count(self, name: str, epsilon: float) -> float:
         """NoisyCount on a table source: ``|D| + Lap(1/eps)``."""
         table = self._table(name)
-        cost = self._accountant.laplace_cost(epsilon)
-        self._charge(name, epsilon, cost)
-        self._history.append(
-            MeasurementRecord(name, "NoisyCount", epsilon, 1.0 / epsilon, 1, cost=cost.primary)
-        )
-        return float(len(table) + self._rng.laplace(0.0, 1.0 / epsilon))
+        with trace_span(
+            "kernel.measure.noisy_count", source=name, epsilon=float(epsilon)
+        ) as span:
+            cost = self._accountant.laplace_cost(epsilon)
+            self._charge(name, epsilon, cost)
+            span.set_attributes(cost=float(cost.primary), noise_scale=1.0 / epsilon)
+            self._history.append(
+                MeasurementRecord(name, "NoisyCount", epsilon, 1.0 / epsilon, 1, cost=cost.primary)
+            )
+            return float(len(table) + self._rng.laplace(0.0, 1.0 / epsilon))
 
     def select_exponential_mechanism(
         self,
@@ -449,8 +511,26 @@ class ProtectedKernel:
         PrivBayes network selection.
         """
         vector = self._vector(name)
+        with trace_span(
+            "kernel.select.exponential",
+            source=name,
+            epsilon=float(epsilon),
+            num_candidates=int(num_candidates),
+            domain_size=int(vector.size),
+        ) as span:
+            return self._select_exponential(
+                name, scores, num_candidates, epsilon, score_sensitivity, vector, span
+            )
+
+    def _select_exponential(
+        self, name, scores, num_candidates, epsilon, score_sensitivity, vector, span
+    ) -> int:
         cost = self._accountant.exponential_cost(epsilon)
         self._charge(name, epsilon, cost)
+        span.set_attributes(
+            cost=float(cost.primary),
+            noise_scale=2.0 * score_sensitivity / epsilon,
+        )
         utility = np.asarray(scores(vector), dtype=np.float64)
         if utility.shape != (num_candidates,):
             raise ValueError("score function returned the wrong number of candidates")
@@ -483,14 +563,22 @@ class ProtectedKernel:
         by vetted Private→Public operators such as the DAWA partition scoring.
         """
         vector = self._vector(name)
-        cost = self._accountant.laplace_cost(epsilon)
-        self._charge(name, epsilon, cost)
-        value = float(statistic(vector))
-        scale = sensitivity / epsilon
-        self._history.append(
-            MeasurementRecord(name, "LaplaceScalar", epsilon, scale, 1, cost=cost.primary)
-        )
-        return value + float(self._rng.laplace(0.0, scale))
+        with trace_span(
+            "kernel.measure.laplace_scalar",
+            source=name,
+            epsilon=float(epsilon),
+            sensitivity=float(sensitivity),
+            domain_size=int(vector.size),
+        ) as span:
+            cost = self._accountant.laplace_cost(epsilon)
+            self._charge(name, epsilon, cost)
+            value = float(statistic(vector))
+            scale = sensitivity / epsilon
+            span.set_attributes(cost=float(cost.primary), noise_scale=float(scale))
+            self._history.append(
+                MeasurementRecord(name, "LaplaceScalar", epsilon, scale, 1, cost=cost.primary)
+            )
+            return value + float(self._rng.laplace(0.0, scale))
 
     # ------------------------------------------------------------------
     # Lineage introspection (public).

@@ -14,7 +14,15 @@ needs between the two — sessions, scheduling, caching and auditing:
 * :class:`ArtifactCache` — shared cache of data-independent constructions
   (workload matrices and friends);
 * :mod:`~repro.service.export` — structured audit export and ledger
-  reconciliation built on :mod:`repro.private.audit`.
+  reconciliation built on :mod:`repro.private.audit`, plus
+  :func:`telemetry_report` for the scheduler's operational snapshot.
+
+Observability: construct the scheduler with a
+:class:`~repro.telemetry.Tracer` to get one hierarchical trace per request
+(``QueryResponse.trace_id``) spanning plan stages, kernel measurements and
+solver calls; metrics (latency/queue-wait histograms, outcome and cache
+counters, the per-tenant privacy-spend odometer) are always collected on
+``scheduler.metrics``.  See :mod:`repro.telemetry`.
 
 Typical usage::
 
@@ -30,9 +38,15 @@ Typical usage::
     )
 """
 
-from .api import QueryRequest, QueryResponse
+from .api import QueryRequest, QueryResponse, RequestFailure
 from .artifact_cache import ArtifactCache
-from .export import export_json, reconcile, service_report, session_report
+from .export import (
+    export_json,
+    reconcile,
+    service_report,
+    session_report,
+    telemetry_report,
+)
 from .measurement_cache import CachedAnswer, MeasurementCache
 from .scheduler import PlanScheduler, derive_request_seed
 from .session import Session, SessionEvent, SessionManager
@@ -40,6 +54,7 @@ from .session import Session, SessionEvent, SessionManager
 __all__ = [
     "QueryRequest",
     "QueryResponse",
+    "RequestFailure",
     "Session",
     "SessionEvent",
     "SessionManager",
@@ -52,4 +67,5 @@ __all__ = [
     "service_report",
     "reconcile",
     "export_json",
+    "telemetry_report",
 ]

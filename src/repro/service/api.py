@@ -96,9 +96,42 @@ class QueryResponse:
     #: session-level accounting snapshot taken after this request (accountant
     #: name, native spend, converted (ε, δ)); None only on legacy constructors.
     accounting: dict | None = None
+    #: id of the request's trace when the scheduler ran with tracing enabled
+    #: (pass it to ``scheduler.tracer.trace(...)`` / the span exporters);
+    #: None when tracing is off.
+    trace_id: str | None = None
 
     @property
     def payload(self) -> np.ndarray:
         """What the client usually wants: workload answers if a workload was
         named, otherwise the full data-vector estimate."""
         return self.answers if self.answers is not None else self.x_hat
+
+
+@dataclass(frozen=True)
+class RequestFailure:
+    """Structured context of one failed request, attached to its exception.
+
+    The scheduler sets this as ``exc.request_failure`` on any exception a
+    request raises (and re-raises the *original* exception, so callers keep
+    matching on concrete types like ``BudgetExceededError``).  In a batch,
+    ``batch_index`` is the request's slot in the submitted sequence — the
+    context an opaque exception used to lose — and ``trace_id`` links the
+    failure to its spans when tracing was on.  ``epsilon_spent`` is whatever
+    the partial run charged before failing (already ledgered as an errored
+    :class:`~repro.service.session.SessionEvent`).
+    """
+
+    request_id: str | None
+    session_id: str
+    plan: str
+    error_type: str
+    message: str
+    trace_id: str | None = None
+    epsilon_spent: float = 0.0
+    batch_index: int | None = None
+
+    @staticmethod
+    def of(exc: BaseException) -> "RequestFailure | None":
+        """The failure attached to ``exc`` by the scheduler, if any."""
+        return getattr(exc, "request_failure", None)

@@ -15,13 +15,25 @@ import threading
 from typing import Callable, Hashable, Mapping, TypeVar
 
 from ..matrix import LinearQueryMatrix
+from ..telemetry.metrics import MetricsRegistry
 from ..workload.builders import build_workload, workload_cache_key
 
 T = TypeVar("T")
 
+#: Sentinel distinguishing "no entry" from a cached ``None`` artifact.
+_MISS = object()
+
 
 class ArtifactCache:
-    """Thread-safe map from hashable keys to data-independent artifacts."""
+    """Thread-safe map from hashable keys to data-independent artifacts.
+
+    ``bind_metrics`` attaches a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    so hit/miss/eviction counts surface as ``cache_hits`` / ``cache_misses`` /
+    ``cache_evictions`` counters labelled ``cache=<name>`` (the scheduler binds
+    its registry automatically).
+    """
+
+    metrics_name = "artifact"
 
     def __init__(self, max_entries: int | None = None):
         self._entries: dict[Hashable, object] = {}
@@ -29,6 +41,16 @@ class ArtifactCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._metrics: MetricsRegistry | None = None
+
+    def bind_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report this cache's counters to ``metrics`` from now on."""
+        self._metrics = metrics
+
+    def _count(self, outcome: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"cache_{outcome}", cache=self.metrics_name).inc()
 
     def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
         """Return the cached artifact for ``key``, building it on a miss.
@@ -40,14 +62,25 @@ class ArtifactCache:
         with self._lock:
             if key in self._entries:
                 self.hits += 1
-                return self._entries[key]  # type: ignore[return-value]
-            self.misses += 1
+                artifact = self._entries[key]
+            else:
+                self.misses += 1
+                artifact = _MISS
+        if artifact is not _MISS:
+            self._count("hits")
+            return artifact  # type: ignore[return-value]
+        self._count("misses")
         artifact = builder()
+        evicted = False
         with self._lock:
             stored = self._entries.setdefault(key, artifact)
             if self.max_entries is not None and len(self._entries) > self.max_entries:
                 # Drop the oldest insertion (dict preserves insertion order).
                 self._entries.pop(next(iter(self._entries)))
+                self.evictions += 1
+                evicted = True
+        if evicted:
+            self._count("evictions")
         return stored  # type: ignore[return-value]
 
     def workload(
@@ -84,7 +117,12 @@ class ArtifactCache:
     @property
     def stats(self) -> dict:
         with self._lock:
-            return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def clear(self) -> None:
         with self._lock:

@@ -32,6 +32,38 @@ def session_report(session: Session) -> dict:
         return _session_report_locked(session)
 
 
+def _timing_summary(events) -> dict:
+    """Latency digest of a session's audit trail (durations are on-event)."""
+    durations = sorted(event.duration_seconds for event in events)
+    queue_waits = [event.queue_wait_seconds for event in events]
+    if not durations:
+        return {
+            "num_timed": 0,
+            "total_seconds": 0.0,
+            "mean_seconds": 0.0,
+            "p50_seconds": 0.0,
+            "p95_seconds": 0.0,
+            "max_seconds": 0.0,
+            "total_queue_wait_seconds": 0.0,
+            "max_queue_wait_seconds": 0.0,
+        }
+
+    def rank(q: float) -> float:
+        return durations[min(int(q * len(durations)), len(durations) - 1)]
+
+    total = math.fsum(durations)
+    return {
+        "num_timed": len(durations),
+        "total_seconds": total,
+        "mean_seconds": total / len(durations),
+        "p50_seconds": rank(0.50),
+        "p95_seconds": rank(0.95),
+        "max_seconds": durations[-1],
+        "total_queue_wait_seconds": math.fsum(queue_waits),
+        "max_queue_wait_seconds": max(queue_waits),
+    }
+
+
 def _session_report_locked(session: Session) -> dict:
     audit = audit_kernel(session.kernel)
     return {
@@ -47,6 +79,9 @@ def _session_report_locked(session: Session) -> dict:
         # budget totals above are native units (ρ for a zCDP session), this
         # section is the DP guarantee a practitioner quotes.
         "accounting": session.accounting_report(),
+        # Wall-clock digest of the per-request timings stamped on every event
+        # (duration under the session lock plus scheduling queue-wait).
+        "telemetry": _timing_summary(session.events),
         "events": [asdict(event) for event in session.events],
         "kernel_audit": {
             "accountant": audit.accountant,
@@ -98,6 +133,27 @@ def service_report(manager: SessionManager) -> dict:
         "tenants": sorted({report["tenant"] for report in reports}),
         "total_epsilon_consumed": math.fsum(r["budget_consumed"] for r in reports),
         "sessions": reports,
+    }
+
+
+def telemetry_report(scheduler) -> dict:
+    """Operational snapshot of one :class:`~repro.service.PlanScheduler`.
+
+    Complements the budget-centric audit exports with the service's runtime
+    health: the metrics registry snapshot (per-tenant latency and queue-wait
+    histograms with percentile estimates, request outcome counters, cache
+    counters), the per-tenant privacy-spend odometer with burn rates, both
+    caches' stats, and the tracer's buffer stats.  Everything in the returned
+    dict is JSON-ready.
+    """
+    return {
+        "metrics": scheduler.metrics.snapshot(),
+        "privacy_odometer": scheduler.metrics.privacy_odometer(),
+        "caches": {
+            "artifact": scheduler.artifact_cache.stats,
+            "measurement": scheduler.measurement_cache.stats,
+        },
+        "tracer": scheduler.tracer.stats(),
     }
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..private.kernel import MeasurementRecord
+from ..telemetry.metrics import MetricsRegistry
 from .api import QueryResponse
 from .session import Session
 
@@ -46,11 +47,23 @@ class CachedAnswer:
 class MeasurementCache:
     """Per-session index of released answers keyed by request identity."""
 
+    metrics_name = "measurement"
+
     def __init__(self):
         self._entries: dict[tuple, CachedAnswer] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._metrics: MetricsRegistry | None = None
+
+    def bind_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report hit/miss/eviction counters to ``metrics`` from now on."""
+        self._metrics = metrics
+
+    def _count(self, outcome: str, amount: int = 1) -> None:
+        if self._metrics is not None and amount:
+            self._metrics.counter(f"cache_{outcome}", cache=self.metrics_name).inc(amount)
 
     @staticmethod
     def _scoped(session: Session, key: tuple) -> tuple:
@@ -66,7 +79,8 @@ class MeasurementCache:
                 self.misses += 1
             else:
                 self.hits += 1
-            return entry
+        self._count("hits" if entry is not None else "misses")
+        return entry
 
     def store(
         self,
@@ -110,12 +124,19 @@ class MeasurementCache:
             ]
             for k in stale:
                 del self._entries[k]
-            return len(stale)
+            self.evictions += len(stale)
+        self._count("evictions", len(stale))
+        return len(stale)
 
     @property
     def stats(self) -> dict:
         with self._lock:
-            return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __len__(self) -> int:
         with self._lock:

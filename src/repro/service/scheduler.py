@@ -26,6 +26,20 @@ still raise before anything touches the session ledger.)
 ``execute_batch`` fans requests out over a :class:`ThreadPoolExecutor`.
 Requests on the *same* session serialise on its lock (sequential composition
 demands it); requests on different sessions genuinely run in parallel.
+
+**Observability.**  Constructed with a :class:`~repro.telemetry.Tracer`, the
+scheduler opens a ``service.request`` root span per request and activates the
+tracer on the executing thread, so every instrumented seam underneath — plan
+stages, kernel measurements with their ε/cost, solver calls with Gram
+cache hits — attaches to the request's trace; the trace id is returned on
+``QueryResponse.trace_id`` and stamped on the audit-trail event.  A
+:class:`~repro.telemetry.MetricsRegistry` (always on; created internally
+unless injected) aggregates per-tenant request latency and queue-wait
+histograms, outcome counters, cache hit/miss/eviction counters and the
+per-tenant privacy-spend odometer.  Failures re-raise the *original*
+exception with a structured :class:`~repro.service.api.RequestFailure`
+attached (request id, batch slot, trace id, spend), so batch callers keep
+their ``isinstance`` checks and still get the context.
 """
 
 from __future__ import annotations
@@ -37,7 +51,9 @@ from dataclasses import replace
 from typing import Sequence
 
 from ..plans.registry import make_plan
-from .api import QueryRequest, QueryResponse
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.spans import NOOP_SPAN, NULL_TRACER, NullTracer, Tracer, activate
+from .api import QueryRequest, QueryResponse, RequestFailure
 from .artifact_cache import ArtifactCache
 from .measurement_cache import MeasurementCache
 from .session import Session, SessionEvent, SessionManager
@@ -58,6 +74,14 @@ def derive_request_seed(
     return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
 
 
+def _attach_failure(exc: BaseException, failure: RequestFailure) -> None:
+    """Best-effort structured context on the original exception object."""
+    try:
+        exc.request_failure = failure  # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - slotted exception classes
+        pass
+
+
 class PlanScheduler:
     """Executes :class:`QueryRequest`\\ s synchronously or in batches."""
 
@@ -67,11 +91,22 @@ class PlanScheduler:
         measurement_cache: MeasurementCache | None = None,
         artifact_cache: ArtifactCache | None = None,
         max_workers: int = 4,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.manager = manager
         self.measurement_cache = measurement_cache if measurement_cache is not None else MeasurementCache()
         self.artifact_cache = artifact_cache if artifact_cache is not None else ArtifactCache()
         self.max_workers = max_workers
+        #: per-request tracing; the no-op NULL_TRACER (the default) records
+        #: nothing and costs one shared no-op handle per instrumented seam.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: cross-request aggregates (latency/queue-wait histograms per tenant,
+        #: outcome and cache counters, privacy-spend odometer); always on —
+        #: a handful of dict operations per request.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.measurement_cache.bind_metrics(self.metrics)
+        self.artifact_cache.bind_metrics(self.metrics)
 
     def close_session(self, session_id: str) -> Session:
         """Close a session and drop its cached releases.
@@ -93,11 +128,62 @@ class PlanScheduler:
         session = self.manager.get(request.session_id)
         if request.request_id is None:
             request = replace(request, request_id=session.next_request_id())
+        queued_at = time.perf_counter()
         with session.lock:
-            return self._execute_locked(session, request)
+            return self._execute_locked(session, request, queued_at=queued_at)
 
-    def _execute_locked(self, session: Session, request: QueryRequest) -> QueryResponse:
+    def _execute_locked(
+        self, session: Session, request: QueryRequest, queued_at: float | None = None
+    ) -> QueryResponse:
+        tracer = self.tracer
+        if tracer is NULL_TRACER:
+            return self._run_locked(session, request, queued_at, NOOP_SPAN)
+        with activate(tracer), tracer.span(
+            "service.request",
+            request_id=request.request_id,
+            session=session.session_id,
+            tenant=session.tenant,
+            plan=request.plan,
+            workload=request.workload,
+            epsilon=float(request.epsilon),
+        ) as root:
+            response = self._run_locked(session, request, queued_at, root)
+            root.set_attributes(
+                cached=response.cached, epsilon_spent=float(response.epsilon_spent)
+            )
+            return response
+
+    def _observe(
+        self,
+        session: Session,
+        request: QueryRequest,
+        outcome: str,
+        duration: float,
+        queue_wait: float,
+        spent: float,
+    ) -> None:
+        """Fold one finished (or failed) request into the metrics registry."""
+        metrics = self.metrics
+        tenant = session.tenant
+        metrics.counter(
+            "service_requests", tenant=tenant, plan=request.plan, outcome=outcome
+        ).inc()
+        metrics.histogram("service_request_latency_seconds", tenant=tenant).observe(duration)
+        metrics.histogram("service_request_queue_wait_seconds", tenant=tenant).observe(
+            queue_wait
+        )
+        unit = "rho" if session.kernel.accountant.name == "zcdp" else "epsilon"
+        metrics.record_privacy_spend(tenant, request.plan, spent, unit=unit)
+
+    def _run_locked(
+        self,
+        session: Session,
+        request: QueryRequest,
+        queued_at: float | None,
+        root,
+    ) -> QueryResponse:
         start = time.perf_counter()
+        queue_wait = max(start - queued_at, 0.0) if queued_at is not None else 0.0
         key = request.cache_key()
 
         if request.reuse:
@@ -109,6 +195,9 @@ class PlanScheduler:
                 # state (a replay spends nothing, but spend may have moved
                 # since the entry was stored).
                 response.accounting = session.accounting_report()
+                response.trace_id = root.trace_id
+                duration = time.perf_counter() - start
+                response.elapsed_seconds = duration
                 session.record(
                     SessionEvent(
                         request_id=request.request_id,
@@ -121,8 +210,12 @@ class PlanScheduler:
                         history_start=entry.history_start,
                         history_end=entry.history_start,
                         tag=request.tag,
+                        duration_seconds=duration,
+                        queue_wait_seconds=queue_wait,
+                        trace_id=root.trace_id,
                     )
                 )
+                self._observe(session, request, "cached", duration, queue_wait, 0.0)
                 return response
 
         workload_matrix = (
@@ -139,6 +232,7 @@ class PlanScheduler:
             # an empty history span — so the audit trail has one entry per
             # scheduled request, exactly like plans that fail mid-run.
             snapshot = session.kernel.budget_snapshot()
+            duration = time.perf_counter() - start
             session.record(
                 SessionEvent(
                     request_id=request.request_id,
@@ -152,12 +246,28 @@ class PlanScheduler:
                     history_end=snapshot.num_measurements,
                     tag=request.tag,
                     error="ValueError",
+                    duration_seconds=duration,
+                    queue_wait_seconds=queue_wait,
+                    trace_id=root.trace_id,
                 )
             )
-            raise ValueError(
+            self._observe(session, request, "rejected", duration, queue_wait, 0.0)
+            exc = ValueError(
                 f"workload {request.workload!r} has {workload_matrix.shape[1]} columns "
                 f"but session {session.session_id!r} has a {source.domain_size}-cell domain"
             )
+            _attach_failure(
+                exc,
+                RequestFailure(
+                    request_id=request.request_id,
+                    session_id=session.session_id,
+                    plan=request.plan,
+                    error_type="ValueError",
+                    message=str(exc),
+                    trace_id=root.trace_id,
+                ),
+            )
+            raise exc
 
         seed = derive_request_seed(
             session.base_seed, session.session_id, request.request_id, repr(key)
@@ -168,7 +278,8 @@ class PlanScheduler:
             # The shared artifact cache rides along so plan inference reuses
             # data-independent Gram factorisations across requests and
             # tenants, keyed by each strategy's canonical strategy_key().
-            result = plan.run(source, request.epsilon, gram_cache=self.artifact_cache)
+            with self.tracer.span("plan.run", plan=request.plan):
+                result = plan.run(source, request.epsilon, gram_cache=self.artifact_cache)
             answers = result.answer(workload_matrix) if workload_matrix is not None else None
         except Exception as exc:
             # A request can fail after spending part (or all) of its budget —
@@ -176,23 +287,42 @@ class PlanScheduler:
             # the ledger must still claim that spend (and its history rows)
             # or the audit would never reconcile again.
             after = session.kernel.budget_snapshot()
+            spent = after.consumed - before.consumed
+            duration = time.perf_counter() - start
             session.record(
                 SessionEvent(
                     request_id=request.request_id,
                     plan=request.plan,
                     workload=request.workload,
                     epsilon_requested=request.epsilon,
-                    epsilon_spent=after.consumed - before.consumed,
+                    epsilon_spent=spent,
                     cached=False,
                     seed=seed,
                     history_start=before.num_measurements,
                     history_end=after.num_measurements,
                     tag=request.tag,
                     error=type(exc).__name__,
+                    duration_seconds=duration,
+                    queue_wait_seconds=queue_wait,
+                    trace_id=root.trace_id,
                 )
+            )
+            self._observe(session, request, "error", duration, queue_wait, spent)
+            _attach_failure(
+                exc,
+                RequestFailure(
+                    request_id=request.request_id,
+                    session_id=session.session_id,
+                    plan=request.plan,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    trace_id=root.trace_id,
+                    epsilon_spent=spent,
+                ),
             )
             raise
         after = session.kernel.budget_snapshot()
+        duration = time.perf_counter() - start
         response = QueryResponse(
             request_id=request.request_id,
             session_id=session.session_id,
@@ -204,8 +334,9 @@ class PlanScheduler:
             cached=False,
             seed=seed,
             info=dict(result.info),
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=duration,
             accounting=session.accounting_report(),
+            trace_id=root.trace_id,
         )
         self.measurement_cache.store(
             session, key, response, before.num_measurements, after.num_measurements
@@ -222,7 +353,13 @@ class PlanScheduler:
                 history_start=before.num_measurements,
                 history_end=after.num_measurements,
                 tag=request.tag,
+                duration_seconds=duration,
+                queue_wait_seconds=queue_wait,
+                trace_id=root.trace_id,
             )
+        )
+        self._observe(
+            session, request, "ok", duration, queue_wait, response.epsilon_spent
         )
         return response
 
@@ -249,7 +386,11 @@ class PlanScheduler:
         others.  With ``return_exceptions=True`` a failed request's slot
         holds the exception object instead of a response; otherwise the
         first failure (in input order) is re-raised after the whole batch
-        has finished.
+        has finished.  Either way the exception is the *original* one, with
+        a :class:`~repro.service.api.RequestFailure` attached under
+        ``request_failure`` carrying the request id, batch slot, originating
+        trace id and any partial spend — so a failed slot never loses its
+        batch context.
         """
         assigned = []
         for request in requests:
@@ -261,12 +402,30 @@ class PlanScheduler:
             return []
         workers = max_workers if max_workers is not None else self.max_workers
         with ThreadPoolExecutor(max_workers=max(workers, 1)) as pool:
-            futures = [pool.submit(self._execute_assigned, request) for request in assigned]
+            queued_at = time.perf_counter()
+            futures = [
+                pool.submit(self._execute_assigned, request, queued_at)
+                for request in assigned
+            ]
             results: list[QueryResponse | Exception] = []
-            for future in futures:
+            for index, (request, future) in enumerate(zip(assigned, futures)):
                 try:
                     results.append(future.result())
                 except Exception as exc:
+                    failure = RequestFailure.of(exc)
+                    if failure is None:
+                        # The request died before reaching the execution path
+                        # (e.g. an unknown session id): synthesise the context.
+                        failure = RequestFailure(
+                            request_id=request.request_id,
+                            session_id=request.session_id,
+                            plan=request.plan,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                        )
+                    if failure.batch_index is None:
+                        failure = replace(failure, batch_index=index)
+                    _attach_failure(exc, failure)
                     results.append(exc)
         if not return_exceptions:
             for outcome in results:
@@ -274,7 +433,9 @@ class PlanScheduler:
                     raise outcome
         return results
 
-    def _execute_assigned(self, request: QueryRequest) -> QueryResponse:
+    def _execute_assigned(
+        self, request: QueryRequest, queued_at: float | None = None
+    ) -> QueryResponse:
         session = self.manager.get(request.session_id)
         with session.lock:
-            return self._execute_locked(session, request)
+            return self._execute_locked(session, request, queued_at=queued_at)

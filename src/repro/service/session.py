@@ -48,6 +48,15 @@ class SessionEvent:
     #: exception type name when the plan failed mid-execution ("" on success);
     #: the event still claims whatever budget/history the partial run produced.
     error: str = ""
+    #: wall-clock seconds the request spent executing under the session lock
+    #: (cache hits included — replay time is real latency too).
+    duration_seconds: float = 0.0
+    #: seconds between the request being scheduled (batch submission or
+    #: ``execute`` entry) and execution starting — lock contention plus
+    #: thread-pool queueing.
+    queue_wait_seconds: float = 0.0
+    #: trace id of the request's span tree when tracing was enabled, else None.
+    trace_id: str | None = None
 
 
 class Session:

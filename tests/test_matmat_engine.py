@@ -349,7 +349,7 @@ class TestInferenceFastPaths:
         cache.gram("h16", queries)
         answers = queries.matvec(np.arange(16.0))
         least_squares(queries, answers, method="normal", gram_cache=cache, gram_key="h16")
-        assert cache.stats == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
 
     def test_least_squares_max_iterations_zero_is_honoured(self):
         from repro.operators.inference import least_squares

@@ -394,7 +394,7 @@ class TestArtifactCache:
         first = cache.workload("prefix", {"n": 32})
         second = cache.workload("prefix", {"n": 32})
         assert first is second
-        assert cache.stats == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
 
     def test_key_normalisation_across_param_types(self):
         assert workload_cache_key("prefix", {"n": np.int64(32)}) == workload_cache_key(
