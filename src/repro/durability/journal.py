@@ -1,0 +1,217 @@
+"""Write-ahead privacy journal: the durable record of everything that spends ε.
+
+Every budget charge accepted at the root ledger, every kernel measurement
+record, every audit-trail session event and every released answer is appended
+here *before* the response leaves the service — charge-ahead semantics: a
+crash between charge and release can only waste budget (the restored ledger
+still shows the charge, the answer was never released), never leak it (no
+answer is released whose charges are not journaled).
+
+Format: JSON lines, one record per line, each prefixed with the CRC32 of its
+payload::
+
+    3f91a2c4 {"seq":1,"kind":"charge","p":0.1,"d":0.0}
+
+``seq`` is a strictly sequential record number.  On open, the journal scans
+existing content and validates CRC, JSON shape and sequence continuity; the
+first torn or corrupt record (a half-written line from a crash mid-append, a
+flipped bit) truncates the file at the last good byte — the journal's
+contract is *prefix durability*, never a gap.
+
+Durability modes (``fsync=``):
+
+* ``"commit"`` (default) — records are buffered per append and flushed to the
+  OS at every :meth:`commit` (the scheduler commits once per request, before
+  the response is returned).  Survives process death — the fault model of
+  this repo's crash harness — at ~µs cost.
+* ``"always"`` — additionally ``os.fsync`` on every commit: survives OS/power
+  loss, at the device's sync latency (~100µs+ per request).
+* ``"never"`` — flush only on close; fastest, for tests and benchmarks.
+
+``path=None`` keeps the journal in an in-memory buffer with identical
+semantics (minus fsync), which the benchmarks use to isolate append cost.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+
+from .faults import FaultInjector
+
+__all__ = ["PrivacyJournal", "JournalCorruptionError"]
+
+_FSYNC_MODES = ("always", "commit", "never")
+
+
+class JournalCorruptionError(Exception):
+    """Raised when a journal cannot be recovered (not merely truncated)."""
+
+
+def _encode_line(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"), default=float).encode("utf-8")
+    return b"%08x " % zlib.crc32(payload) + payload + b"\n"
+
+
+def _decode_line(line: bytes) -> dict | None:
+    """The record in ``line``, or None if the line is torn/corrupt."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class PrivacyJournal:
+    """Append-only, CRC-checked, crash-recoverable JSON-lines journal."""
+
+    def __init__(
+        self,
+        path: str | Path | None,
+        fsync: str = "commit",
+        fault_injector: FaultInjector | None = None,
+    ):
+        if fsync not in _FSYNC_MODES:
+            raise ValueError(f"fsync mode must be one of {_FSYNC_MODES}")
+        self.path = Path(path) if path is not None else None
+        self.fsync_mode = fsync
+        self.faults = fault_injector
+        self._lock = threading.RLock()
+        self._records: list[dict] = []
+        self.seq = 0
+        #: bytes discarded from a torn/corrupt tail at open time (0 = clean).
+        self.truncated_bytes = 0
+        self.truncated_records = 0
+        if self.path is None:
+            self._file = io.BytesIO()
+        else:
+            self._recover()
+            self._file = open(self.path, "ab")
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Open-time recovery.
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Load existing records, truncating a torn or corrupt tail."""
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        offset = 0
+        while offset < len(raw):
+            end = raw.find(b"\n", offset)
+            if end < 0:
+                break  # torn tail: no newline ever made it to disk
+            record = _decode_line(raw[offset:end])
+            if record is None or record.get("seq") != self.seq + 1:
+                break  # corrupt line, or a gap in the sequence
+            self._records.append(record)
+            self.seq += 1
+            offset = end + 1
+        if offset < len(raw):
+            # Count whole remaining lines (the first is the bad one).
+            tail = raw[offset:]
+            self.truncated_bytes = len(tail)
+            self.truncated_records = tail.count(b"\n") + (0 if tail.endswith(b"\n") else 1)
+            with open(self.path, "r+b") as f:
+                f.truncate(offset)
+
+    # ------------------------------------------------------------------
+    # Append path.
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> int:
+        """Append one record; returns its sequence number.
+
+        The record is written (and buffered) immediately; durability against
+        process death is established by the next :meth:`commit`.  A failed
+        write leaves at most a torn tail, which the next open truncates.
+        """
+        with self._lock:
+            if self._closed:
+                raise ValueError("journal is closed")
+            if self.faults is not None:
+                self.faults.fire("journal.append", record.get("kind"))
+            seq = self.seq + 1
+            stamped = {"seq": seq, **record}
+            self._file.write(_encode_line(stamped))
+            self.seq = seq
+            self._records.append(stamped)
+            return seq
+
+    def commit(self) -> None:
+        """Make everything appended so far durable (per the fsync mode)."""
+        with self._lock:
+            if self._closed:
+                return
+            if self.fsync_mode in ("commit", "always"):
+                self._file.flush()
+            if self.fsync_mode == "always":
+                self._fsync()
+
+    def _fsync(self) -> None:
+        if self.faults is not None:
+            self.faults.fire("journal.fsync")
+        if self.path is not None:
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # Read path.
+    # ------------------------------------------------------------------
+    def records(self, after_seq: int = 0) -> list[dict]:
+        """All records with ``seq > after_seq``, in order."""
+        with self._lock:
+            # seq numbers are 1-based and dense: records[i] has seq i+1.
+            return list(self._records[max(int(after_seq), 0):])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": str(self.path) if self.path is not None else None,
+                "fsync_mode": self.fsync_mode,
+                "records": len(self._records),
+                "seq": self.seq,
+                "truncated_bytes": self.truncated_bytes,
+                "truncated_records": self.truncated_records,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._file.flush()
+            if self.path is not None and self.fsync_mode != "never":
+                try:
+                    os.fsync(self._file.fileno())
+                except OSError:  # pragma: no cover - best-effort final sync
+                    pass
+            if self.path is not None:
+                self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "PrivacyJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.path if self.path is not None else "<memory>"
+        return f"PrivacyJournal({where}, records={len(self)}, fsync={self.fsync_mode!r})"

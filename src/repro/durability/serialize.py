@@ -1,0 +1,84 @@
+"""Lossless JSON encoding of the service's durable state.
+
+Snapshots and journal records must round-trip through JSON without losing
+the two things plain JSON cannot carry:
+
+* **tuples** — request cache keys are nested tuples of primitives (see
+  :func:`repro.workload.builders.workload_cache_key`), and tuple-vs-list
+  identity matters because restored keys must hash equal to live ones;
+* **numpy arrays** — released noisy answers must be restored *byte-identical*
+  (the crash-recovery property suite compares raw bytes), so arrays are
+  encoded as base64 of their little-endian buffer, not as decimal text.
+
+``encode`` maps a value to a JSON-ready structure using tagged objects
+(``{"__tuple__": [...]}``, ``{"__ndarray__": ...}``); ``decode`` inverts it.
+Unknown objects degrade to a tagged ``repr`` string — loud in the decoded
+structure rather than silently wrong — which only ever affects free-form
+diagnostic payloads (``QueryResponse.info``), never budget or answers.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+__all__ = ["encode", "decode"]
+
+#: Tag keys; a plain dict that happens to contain one of these as its single
+#: key would be mis-decoded, so ``encode`` escapes such dicts under "__dict__".
+_TAGS = ("__tuple__", "__ndarray__", "__bytes__", "__repr__", "__dict__")
+
+
+def encode(value):
+    """A JSON-serialisable structure that :func:`decode` inverts exactly."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        return {
+            "__ndarray__": base64.b64encode(array.tobytes()).decode("ascii"),
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode(item) for item in value]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, dict):
+        encoded = {str(key): encode(item) for key, item in value.items()}
+        if len(encoded) >= 1 and any(tag in encoded for tag in _TAGS):
+            return {"__dict__": encoded}
+        return encoded
+    return {"__repr__": repr(value)}
+
+
+def decode(value):
+    """Invert :func:`encode`."""
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            raw = base64.b64decode(value["__ndarray__"])
+            array = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+            return array.reshape(value["shape"]).copy()
+        if "__tuple__" in value:
+            return tuple(decode(item) for item in value["__tuple__"])
+        if "__bytes__" in value:
+            return base64.b64decode(value["__bytes__"])
+        if "__repr__" in value:
+            return value["__repr__"]
+        if "__dict__" in value:
+            return {key: decode(item) for key, item in value["__dict__"].items()}
+        return {key: decode(item) for key, item in value.items()}
+    return value

@@ -4,6 +4,7 @@ from .audit import BudgetAudit, SourceReport, audit, audit_kernel
 from .budget import BudgetNode, BudgetTracker, NodeKind
 from .exceptions import (
     BudgetExceededError,
+    DeadlineExceededError,
     InvalidTransformationError,
     PrivacyError,
     UnknownSourceError,
@@ -27,6 +28,7 @@ __all__ = [
     "protect",
     "PrivacyError",
     "BudgetExceededError",
+    "DeadlineExceededError",
     "UnknownSourceError",
     "InvalidTransformationError",
     "UnsupportedMechanismError",

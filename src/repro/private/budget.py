@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Callable, Optional
 
 from ..accounting.accountants import PureDPAccountant
 from ..accounting.base import Accountant, Cost
@@ -145,6 +145,10 @@ class BudgetTracker:
         self._ledger: list[Cost] = []
         self._ledger_primary = _CompensatedSum()
         self._ledger_delta = _CompensatedSum()
+        #: write-ahead hook: called with each root-level charge the instant
+        #: it is accepted — before the measurement's noise is ever computed —
+        #: so a durable journal sees the charge ahead of any release.
+        self.charge_listener: Callable[[Cost], None] | None = None
 
     # ------------------------------------------------------------------
     # Graph construction.
@@ -206,6 +210,12 @@ class BudgetTracker:
         if node.kind is NodeKind.ROOT:
             if not self._ledger_accepts(cost):
                 return False
+            # Write-ahead ordering: the journal listener runs *before* any
+            # in-memory state mutates.  If the append fails, the charge never
+            # happened anywhere; if we crash right after it, the journaled
+            # charge is merely wasted budget (nothing was released).
+            if self.charge_listener is not None:
+                self.charge_listener(cost)
             self._ledger.append(cost)
             self._ledger_primary.add(cost.primary)
             self._ledger_delta.add(cost.delta)
@@ -268,6 +278,79 @@ class BudgetTracker:
             if delta > budget.delta + LEDGER_TOLERANCE * max(budget.delta, 0.0):
                 return False
         return True
+
+    # ------------------------------------------------------------------
+    # Durable-state support (snapshot/restore, journal replay).
+    # ------------------------------------------------------------------
+    def apply_restored_charge(self, cost: Cost) -> None:
+        """Re-apply a root-level charge recovered from the durable journal.
+
+        Replay bypasses both the acceptance check (the charge was accepted
+        before the crash — re-deciding it against tolerance drift could
+        reject an exact replay) and the ``charge_listener`` (the record is
+        already in the journal).  Per-source counters of plan-internal
+        derived nodes are *not* reconstructed — only the root ledger, which
+        is what reconciliation and future acceptance decisions read.
+        """
+        if cost.primary < 0 or cost.delta < 0:
+            raise ValueError("restored charges must be non-negative")
+        self._ledger.append(cost)
+        self._ledger_primary.add(cost.primary)
+        self._ledger_delta.add(cost.delta)
+        self._nodes[self.root_name]._accumulate(cost)
+
+    def state_dict(self) -> dict:
+        """JSON-ready serialisation of the graph and the root ledger."""
+        return {
+            "root_name": self.root_name,
+            "nodes": [
+                {
+                    "name": node.name,
+                    "kind": node.kind.value,
+                    "parent": node.parent,
+                    "stability": node.stability,
+                    "consumed": node.consumed,
+                    "consumed_delta": node.consumed_delta,
+                }
+                for node in self._nodes.values()
+            ],
+            "ledger": [[cost.primary, cost.delta] for cost in self._ledger],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild the graph and ledger saved by :meth:`state_dict`.
+
+        Must be called on a freshly-constructed tracker with the same
+        accountant.  The compensated acceptance sums are rebuilt by re-adding
+        the ledger in order, which reproduces them bit-identically.
+        """
+        if state["root_name"] != self.root_name:
+            raise ValueError("snapshot root name does not match this tracker")
+        nodes: dict[str, BudgetNode] = {}
+        for entry in state["nodes"]:
+            node = BudgetNode(
+                entry["name"],
+                NodeKind(entry["kind"]),
+                entry["parent"],
+                float(entry["stability"]),
+            )
+            node.consumed = float(entry["consumed"])
+            node.consumed_delta = float(entry["consumed_delta"])
+            nodes[node.name] = node
+        for node in nodes.values():
+            if node.parent is not None:
+                nodes[node.parent].children.append(node.name)
+        if self.root_name not in nodes:
+            raise ValueError("snapshot has no root node")
+        self._nodes = nodes
+        self._ledger = []
+        self._ledger_primary = _CompensatedSum()
+        self._ledger_delta = _CompensatedSum()
+        for primary, delta in state["ledger"]:
+            cost = Cost(float(primary), float(delta))
+            self._ledger.append(cost)
+            self._ledger_primary.add(cost.primary)
+            self._ledger_delta.add(cost.delta)
 
     # ------------------------------------------------------------------
     # Dry-run (the odometer's filter view).

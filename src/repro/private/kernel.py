@@ -19,8 +19,8 @@ with the kernel through:
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+import time
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -33,6 +33,7 @@ from ..telemetry.spans import trace_span
 from .budget import BudgetTracker
 from .exceptions import (
     BudgetExceededError,
+    DeadlineExceededError,
     InvalidTransformationError,
     UnknownSourceError,
 )
@@ -112,13 +113,27 @@ class ProtectedKernel:
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._history: list[MeasurementRecord] = []
-        self._counter = itertools.count(1)
+        self._name_counter = 0
+        #: durability hook: called with every history record the moment it is
+        #: appended (still before the noisy answer is returned to the caller).
+        self.measurement_listener: Callable[[MeasurementRecord], None] | None = None
+        #: fault-injection seams (``kernel.before_charge`` /
+        #: ``kernel.after_charge``); None in production — one attribute check
+        #: per measurement.
+        self.fault_injector = None
+        #: absolute ``time.perf_counter()`` deadline for the currently
+        #: executing request, set/cleared by the scheduler; charges attempted
+        #: past it raise :class:`DeadlineExceededError` *before* spending.
+        #: ``deadline_started`` anchors relative times in the error message.
+        self.deadline: float | None = None
+        self.deadline_started: float | None = None
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers.
     # ------------------------------------------------------------------
     def _fresh_name(self, prefix: str) -> str:
-        return f"{prefix}_{next(self._counter)}"
+        self._name_counter += 1
+        return f"{prefix}_{self._name_counter}"
 
     def _get(self, name: str) -> _Source:
         if name not in self._sources:
@@ -129,13 +144,29 @@ class ProtectedKernel:
         source = self._get(name)
         if source.kind != "table":
             raise InvalidTransformationError(f"source {name!r} is not a table")
+        if source.data is None:
+            raise InvalidTransformationError(
+                f"source {name!r} was restored without data; derive a fresh "
+                "source from the root instead of reusing pre-crash handles"
+            )
         return source.data
 
     def _vector(self, name: str) -> np.ndarray:
         source = self._get(name)
         if source.kind != "vector":
             raise InvalidTransformationError(f"source {name!r} is not a vector")
+        if source.data is None:
+            raise InvalidTransformationError(
+                f"source {name!r} was restored without data; derive a fresh "
+                "source from the root instead of reusing pre-crash handles"
+            )
         return source.data
+
+    def _record(self, record: MeasurementRecord) -> None:
+        """Append one history record, mirroring it to the durable journal."""
+        if self.measurement_listener is not None:
+            self.measurement_listener(record)
+        self._history.append(record)
 
     # ------------------------------------------------------------------
     # Public (non-private) metadata.
@@ -380,8 +411,21 @@ class ProtectedKernel:
     def _charge(self, name: str, epsilon: float, cost: Cost) -> None:
         if epsilon <= 0:
             raise ValueError("the privacy parameter of a measurement must be positive")
+        if self.deadline is not None:
+            now = time.perf_counter()
+            if now > self.deadline:
+                # Checked before spending: a timed-out plan stops charging,
+                # and whatever it charged earlier is its true partial spend.
+                anchor = self.deadline_started if self.deadline_started is not None else self.deadline
+                raise DeadlineExceededError(self.deadline - anchor, now - anchor)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("kernel.before_charge", name, epsilon)
         if not self._budget.charge(name, cost):
             raise BudgetExceededError(cost.primary, self._budget.remaining())
+        if self.fault_injector is not None:
+            # The charge-ahead crash window: budget charged (and journaled),
+            # noisy answer not yet computed or released.
+            self.fault_injector.fire("kernel.after_charge", name, epsilon)
 
     def measure_vector_laplace(
         self, name: str, queries: LinearQueryMatrix, epsilon: float
@@ -416,7 +460,7 @@ class ProtectedKernel:
             )
             answers = queries.matvec(vector)
             noise = self._rng.laplace(0.0, scale, size=queries.shape[0])
-            self._history.append(
+            self._record(
                 MeasurementRecord(
                     name, "VectorLaplace", epsilon, scale, queries.shape[0], cost=cost.primary
                 )
@@ -469,7 +513,7 @@ class ProtectedKernel:
             )
             answers = queries.matvec(vector)
             noise = self._rng.normal(0.0, sigma, size=queries.shape[0])
-            self._history.append(
+            self._record(
                 MeasurementRecord(
                     name,
                     "VectorGaussian",
@@ -491,7 +535,7 @@ class ProtectedKernel:
             cost = self._accountant.laplace_cost(epsilon)
             self._charge(name, epsilon, cost)
             span.set_attributes(cost=float(cost.primary), noise_scale=1.0 / epsilon)
-            self._history.append(
+            self._record(
                 MeasurementRecord(name, "NoisyCount", epsilon, 1.0 / epsilon, 1, cost=cost.primary)
             )
             return float(len(table) + self._rng.laplace(0.0, 1.0 / epsilon))
@@ -542,7 +586,7 @@ class ProtectedKernel:
         # The record's noise_scale is the mechanism's actual scale — scores
         # are perturbed on the 2·Δu/ε temperature — not the bare score
         # sensitivity an earlier revision stored there.
-        self._history.append(
+        self._record(
             MeasurementRecord(
                 name,
                 "ExponentialMechanism",
@@ -575,10 +619,59 @@ class ProtectedKernel:
             value = float(statistic(vector))
             scale = sensitivity / epsilon
             span.set_attributes(cost=float(cost.primary), noise_scale=float(scale))
-            self._history.append(
+            self._record(
                 MeasurementRecord(name, "LaplaceScalar", epsilon, scale, 1, cost=cost.primary)
             )
             return value + float(self._rng.laplace(0.0, scale))
+
+    # ------------------------------------------------------------------
+    # Durable state (snapshot/restore).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready serialisation of the kernel's *bookkeeping* state.
+
+        Contains the budget graph, the root ledger, the measurement history,
+        the noise seed and the name counter — everything needed to resume
+        exact accounting — but never the private data itself: sources other
+        than the root are recorded by name and kind only.  Restoring requires
+        the deployment to supply the original table (the private data is the
+        operator's, not the snapshot's).
+        """
+        return {
+            "seed": self._seed,
+            "name_counter": self._name_counter,
+            "history": [asdict(record) for record in self._history],
+            "source_kinds": {
+                name: source.kind for name, source in self._sources.items()
+            },
+            "budget": self._budget.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the bookkeeping saved by :meth:`state_dict`.
+
+        Must be called on a freshly-built kernel wrapping the original table
+        with an equivalent accountant.  Non-root sources come back as *data
+        stubs*: their lineage, kind and budget counters are exact (audits
+        keep working), but measuring or transforming them raises — post-crash
+        work derives fresh sources from the root.
+        """
+        self._seed = state["seed"]
+        self._rng = np.random.default_rng(self._seed)
+        self._name_counter = int(state["name_counter"])
+        self._history = [MeasurementRecord(**record) for record in state["history"]]
+        self._budget.load_state(state["budget"])
+        for name, kind in state["source_kinds"].items():
+            if name != "root":
+                self._sources[name] = _Source(name, None, kind, {"restored": True})
+
+    def restore_measurement(self, record: MeasurementRecord) -> None:
+        """Append a journal-recovered history record (replay path only).
+
+        Bypasses the ``measurement_listener`` — the record is already in the
+        journal being replayed.
+        """
+        self._history.append(record)
 
     # ------------------------------------------------------------------
     # Lineage introspection (public).

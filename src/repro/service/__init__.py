@@ -48,6 +48,13 @@ from .export import (
     telemetry_report,
 )
 from .measurement_cache import CachedAnswer, MeasurementCache
+from .robustness import (
+    AdmissionController,
+    AdmissionError,
+    CircuitBreaker,
+    RetryPolicy,
+    SessionClosedError,
+)
 from .scheduler import PlanScheduler, derive_request_seed
 from .session import Session, SessionEvent, SessionManager
 
@@ -63,6 +70,11 @@ __all__ = [
     "MeasurementCache",
     "CachedAnswer",
     "ArtifactCache",
+    "AdmissionController",
+    "AdmissionError",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "SessionClosedError",
     "session_report",
     "service_report",
     "reconcile",

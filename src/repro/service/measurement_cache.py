@@ -114,6 +114,28 @@ class MeasurementCache:
             return []
         return session.kernel.history()[entry.history_start : entry.history_end]
 
+    def export_session(self, session: Session) -> list[dict]:
+        """This session's entries as plain dicts (for snapshots).
+
+        Each entry carries the bare request ``key`` (the part after the
+        session scoping), a frozen copy of the response and the history span
+        that paid for it; :func:`repro.durability.snapshot_session` encodes
+        them and :func:`~repro.durability.restore_session` feeds them back
+        through :meth:`store` so pre-crash answers replay at zero ε.
+        """
+        scope = (session.session_id, session.cache_scope)
+        with self._lock:
+            return [
+                {
+                    "key": key[2:],
+                    "response": _frozen_copy(entry.response),
+                    "history_start": entry.history_start,
+                    "history_end": entry.history_end,
+                }
+                for key, entry in self._entries.items()
+                if key[:2] == scope
+            ]
+
     def invalidate_session(self, session: Session) -> int:
         """Drop every entry of one session (e.g. when it closes)."""
         with self._lock:

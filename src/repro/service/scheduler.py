@@ -27,6 +27,28 @@ still raise before anything touches the session ledger.)
 Requests on the *same* session serialise on its lock (sequential composition
 demands it); requests on different sessions genuinely run in parallel.
 
+**Robustness.**  The scheduler composes the :mod:`~repro.service.robustness`
+primitives around every request:
+
+* *Durability* — on a journal-attached session, charges/measurements/events
+  stream into the write-ahead journal as they happen, the released answer is
+  journaled right after it enters the measurement cache, and the journal is
+  committed before the response (or exception) leaves the lock — so nothing
+  a client ever saw can be lost, and nothing lost was ever seen.
+* *Deadlines* — ``QueryRequest.deadline_seconds`` is enforced from the
+  moment of scheduling: requests that expire while queued are rejected with
+  a ledgered zero-spend event; mid-plan, the kernel refuses further charges
+  past the deadline and the errored event claims the true partial spend.
+* *Admission control* — an :class:`~repro.service.robustness.AdmissionController`
+  rejects over-cap requests before they touch any session state.
+* *Circuit breaking* — a :class:`~repro.service.robustness.CircuitBreaker`
+  sheds requests for persistently-failing plans to a cheap fallback plan,
+  marking the response with ``info["degraded_from"]``.
+* *Retries* — :meth:`execute_with_retry` re-attempts transient faults under
+  a :class:`~repro.service.robustness.RetryPolicy`; the retried attempt
+  keeps the same request id and forces cache reuse, so a completed answer is
+  replayed rather than re-charged (budget-safe by construction).
+
 **Observability.**  Constructed with a :class:`~repro.telemetry.Tracer`, the
 scheduler opens a ``service.request`` root span per request and activates the
 tracer on the executing thread, so every instrumented seam underneath — plan
@@ -45,17 +67,31 @@ their ``isinstance`` checks and still get the context.
 from __future__ import annotations
 
 import hashlib
+import math
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Sequence
 
+from ..durability.faults import FaultInjector, WorkerDeath
+from ..durability.serialize import encode
+from ..durability.snapshot import response_state
 from ..plans.registry import make_plan
+from ..private.exceptions import DeadlineExceededError
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.spans import NOOP_SPAN, NULL_TRACER, NullTracer, Tracer, activate
 from .api import QueryRequest, QueryResponse, RequestFailure
 from .artifact_cache import ArtifactCache
 from .measurement_cache import MeasurementCache
+from .robustness import (
+    ALLOW,
+    SHED,
+    AdmissionController,
+    AdmissionError,
+    CircuitBreaker,
+    RetryPolicy,
+    SessionClosedError,
+)
 from .session import Session, SessionEvent, SessionManager
 
 
@@ -93,6 +129,9 @@ class PlanScheduler:
         max_workers: int = 4,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        admission: AdmissionController | None = None,
+        breaker: CircuitBreaker | None = None,
+        fault_injector: FaultInjector | None = None,
     ):
         self.manager = manager
         self.measurement_cache = measurement_cache if measurement_cache is not None else MeasurementCache()
@@ -107,17 +146,59 @@ class PlanScheduler:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.measurement_cache.bind_metrics(self.metrics)
         self.artifact_cache.bind_metrics(self.metrics)
+        #: backpressure: None admits everything (the default).
+        self.admission = admission
+        #: per-plan failure shedding: None never sheds (the default).
+        self.breaker = breaker
+        #: crash-harness seam (``scheduler.worker``); None in production.
+        self.fault_injector = fault_injector
 
-    def close_session(self, session_id: str) -> Session:
+    def close_session(self, session_id: str, drain: bool = True) -> Session:
         """Close a session and drop its cached releases.
 
         Prefer this over :meth:`SessionManager.close` when a scheduler is in
         play — the manager alone cannot reach the measurement cache, and a
         long-running service would otherwise accumulate unreachable entries
-        for every closed session.
+        for every closed session.  See :meth:`SessionManager.close` for the
+        in-flight drain semantics.
         """
-        session = self.manager.close(session_id)
+        session = self.manager.close(session_id, drain=drain)
         self.measurement_cache.invalidate_session(session)
+        return session
+
+    # ------------------------------------------------------------------
+    # Durability.
+    # ------------------------------------------------------------------
+    def snapshot_session(self, session_id: str) -> dict:
+        """Snapshot a session, including its cached releases."""
+        session = self.manager.get(session_id)
+        return session.snapshot(measurement_cache=self.measurement_cache)
+
+    def restore_session(
+        self,
+        table,
+        snapshot: dict | None = None,
+        journal=None,
+        strict: bool = True,
+    ) -> Session:
+        """Rebuild a crashed session into this scheduler's manager and cache.
+
+        See :func:`repro.durability.restore_session`; the restored session
+        is verified against the reconciliation oracle and adopted by the
+        manager, and its released answers land back in the measurement cache
+        for zero-ε replay.
+        """
+        from ..durability.snapshot import restore_session as _restore_session
+
+        session = _restore_session(
+            table,
+            snapshot=snapshot,
+            journal=journal,
+            manager=self.manager,
+            measurement_cache=self.measurement_cache,
+            strict=strict,
+        )
+        self.metrics.counter("service_recoveries", tenant=session.tenant).inc()
         return session
 
     # ------------------------------------------------------------------
@@ -129,29 +210,136 @@ class PlanScheduler:
         if request.request_id is None:
             request = replace(request, request_id=session.next_request_id())
         queued_at = time.perf_counter()
+        return self._execute_guarded(session, request, queued_at)
+
+    def execute_with_retry(
+        self, request: QueryRequest, policy: RetryPolicy | None = None
+    ) -> QueryResponse:
+        """Answer one request, retrying transient faults budget-safely.
+
+        Every attempt reuses the same request id — hence the same derived
+        noise seed and the same cache key — and forces ``reuse=True``, so an
+        attempt that failed *after* its answer was stored (e.g. a journal
+        fsync hiccup) is satisfied from the measurement cache at zero
+        additional ε on the retry.  Budget a failed attempt did spend is
+        already ledgered as an errored event; a retry never re-charges it.
+        """
+        policy = policy if policy is not None else RetryPolicy()
+        session = self.manager.get(request.session_id)
+        if request.request_id is None:
+            request = replace(request, request_id=session.next_request_id())
+        rng = policy.rng()
+        failures = 0
+        while True:
+            try:
+                return self._execute_guarded(session, request, time.perf_counter())
+            except Exception as exc:
+                failures += 1
+                if failures >= policy.max_attempts or not policy.is_retryable(exc):
+                    raise
+                self.metrics.counter(
+                    "service_retries", tenant=session.tenant, plan=request.plan
+                ).inc()
+                time.sleep(policy.delay(failures, rng))
+                request = replace(request, reuse=True)
+
+    def _execute_guarded(
+        self, session: Session, request: QueryRequest, queued_at: float | None
+    ) -> QueryResponse:
+        """Admission, circuit breaking and close checks around one request."""
+        if self.fault_injector is not None:
+            self.fault_injector.fire("scheduler.worker", request.request_id)
+        if session.closing:
+            raise SessionClosedError(
+                f"session {session.session_id!r} is closed; "
+                f"request {request.request_id!r} rejected"
+            )
+        if self.admission is not None:
+            try:
+                self.admission.acquire(session.tenant)
+            except AdmissionError:
+                self.metrics.counter(
+                    "service_admission_rejections", tenant=session.tenant
+                ).inc()
+                raise
+        try:
+            plan_name = request.plan
+            decision = ALLOW if self.breaker is None else self.breaker.admit(plan_name)
+            if decision == SHED:
+                fallback = replace(
+                    request, plan=self.breaker.fallback_plan, plan_params={}
+                )
+                self.metrics.counter(
+                    "service_shed_requests", tenant=session.tenant, plan=plan_name
+                ).inc()
+                response = self._execute_on_session(session, fallback, queued_at)
+                response.info["degraded_from"] = plan_name
+                return response
+            try:
+                response = self._execute_on_session(session, request, queued_at)
+            except SessionClosedError:
+                # A close racing the request says nothing about the plan.
+                raise
+            except Exception:
+                if self.breaker is not None:
+                    self.breaker.record_failure(plan_name)
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success(plan_name)
+            return response
+        finally:
+            if self.admission is not None:
+                self.admission.release(session.tenant)
+
+    def _execute_on_session(
+        self, session: Session, request: QueryRequest, queued_at: float | None
+    ) -> QueryResponse:
         with session.lock:
+            # Re-checked under the lock: a drain-close marks the session
+            # closing, then waits for this lock — anything still queued
+            # behind it must reject, not execute against a closed ledger.
+            if session.closing:
+                raise SessionClosedError(
+                    f"session {session.session_id!r} closed while request "
+                    f"{request.request_id!r} was queued"
+                )
             return self._execute_locked(session, request, queued_at=queued_at)
 
     def _execute_locked(
         self, session: Session, request: QueryRequest, queued_at: float | None = None
     ) -> QueryResponse:
-        tracer = self.tracer
-        if tracer is NULL_TRACER:
-            return self._run_locked(session, request, queued_at, NOOP_SPAN)
-        with activate(tracer), tracer.span(
-            "service.request",
-            request_id=request.request_id,
-            session=session.session_id,
-            tenant=session.tenant,
-            plan=request.plan,
-            workload=request.workload,
-            epsilon=float(request.epsilon),
-        ) as root:
-            response = self._run_locked(session, request, queued_at, root)
-            root.set_attributes(
-                cached=response.cached, epsilon_spent=float(response.epsilon_spent)
-            )
-            return response
+        try:
+            tracer = self.tracer
+            if tracer is NULL_TRACER:
+                return self._run_locked(session, request, queued_at, NOOP_SPAN)
+            with activate(tracer), tracer.span(
+                "service.request",
+                request_id=request.request_id,
+                session=session.session_id,
+                tenant=session.tenant,
+                plan=request.plan,
+                workload=request.workload,
+                epsilon=float(request.epsilon),
+            ) as root:
+                response = self._run_locked(session, request, queued_at, root)
+                root.set_attributes(
+                    cached=response.cached, epsilon_spent=float(response.epsilon_spent)
+                )
+                return response
+        finally:
+            # Commit before the response (or exception) leaves the lock: a
+            # crash after this line loses nothing a client ever saw.
+            self._commit_journal(session)
+
+    def _commit_journal(self, session: Session) -> None:
+        journal = session.journal
+        if journal is None:
+            return
+        started = time.perf_counter()
+        journal.commit()
+        self.metrics.histogram(
+            "service_journal_commit_seconds", tenant=session.tenant
+        ).observe(time.perf_counter() - started)
 
     def _observe(
         self,
@@ -175,6 +363,54 @@ class PlanScheduler:
         unit = "rho" if session.kernel.accountant.name == "zcdp" else "epsilon"
         metrics.record_privacy_spend(tenant, request.plan, spent, unit=unit)
 
+    def _reject_expired(
+        self,
+        session: Session,
+        request: QueryRequest,
+        start: float,
+        queue_wait: float,
+        waited: float,
+        root,
+    ) -> DeadlineExceededError:
+        """Ledger a request that timed out while queued (zero spend)."""
+        snapshot = session.kernel.budget_snapshot()
+        duration = time.perf_counter() - start
+        session.record(
+            SessionEvent(
+                request_id=request.request_id,
+                plan=request.plan,
+                workload=request.workload,
+                epsilon_requested=request.epsilon,
+                epsilon_spent=0.0,
+                cached=False,
+                seed=None,
+                history_start=snapshot.num_measurements,
+                history_end=snapshot.num_measurements,
+                tag=request.tag,
+                error="DeadlineExceededError",
+                duration_seconds=duration,
+                queue_wait_seconds=queue_wait,
+                trace_id=root.trace_id,
+            )
+        )
+        self.metrics.counter(
+            "service_deadline_timeouts", tenant=session.tenant, plan=request.plan
+        ).inc()
+        self._observe(session, request, "timeout", duration, queue_wait, 0.0)
+        exc = DeadlineExceededError(request.deadline_seconds, waited)
+        _attach_failure(
+            exc,
+            RequestFailure(
+                request_id=request.request_id,
+                session_id=session.session_id,
+                plan=request.plan,
+                error_type="DeadlineExceededError",
+                message=str(exc),
+                trace_id=root.trace_id,
+            ),
+        )
+        return exc
+
     def _run_locked(
         self,
         session: Session,
@@ -185,6 +421,16 @@ class PlanScheduler:
         start = time.perf_counter()
         queue_wait = max(start - queued_at, 0.0) if queued_at is not None else 0.0
         key = request.cache_key()
+        #: the deadline counts from scheduling — queue wait is latency the
+        #: client experiences too.
+        deadline_anchor = queued_at if queued_at is not None else start
+        if (
+            request.deadline_seconds is not None
+            and start - deadline_anchor > request.deadline_seconds
+        ):
+            raise self._reject_expired(
+                session, request, start, queue_wait, start - deadline_anchor, root
+            )
 
         if request.reuse:
             entry = self.measurement_cache.lookup(session, key)
@@ -273,20 +519,33 @@ class PlanScheduler:
             session.base_seed, session.session_id, request.request_id, repr(key)
         )
         session.kernel.reseed(seed)
-        before = session.kernel.budget_snapshot()
+        kernel = session.kernel
+        before = kernel.budget_snapshot()
         try:
+            if request.deadline_seconds is not None:
+                kernel.deadline = deadline_anchor + request.deadline_seconds
+                kernel.deadline_started = deadline_anchor
             # The shared artifact cache rides along so plan inference reuses
             # data-independent Gram factorisations across requests and
             # tenants, keyed by each strategy's canonical strategy_key().
             with self.tracer.span("plan.run", plan=request.plan):
                 result = plan.run(source, request.epsilon, gram_cache=self.artifact_cache)
             answers = result.answer(workload_matrix) if workload_matrix is not None else None
+            if kernel.deadline is not None:
+                now = time.perf_counter()
+                if now > kernel.deadline:
+                    # Timed out after the last charge: the answer is complete
+                    # but late; it is withheld, and the spend below is the
+                    # request's true (here: full) partial spend.
+                    raise DeadlineExceededError(
+                        request.deadline_seconds, now - deadline_anchor
+                    )
         except Exception as exc:
             # A request can fail after spending part (or all) of its budget —
             # a multi-measurement plan mid-run, or answer post-processing;
             # the ledger must still claim that spend (and its history rows)
             # or the audit would never reconcile again.
-            after = session.kernel.budget_snapshot()
+            after = kernel.budget_snapshot()
             spent = after.consumed - before.consumed
             duration = time.perf_counter() - start
             session.record(
@@ -307,7 +566,16 @@ class PlanScheduler:
                     trace_id=root.trace_id,
                 )
             )
-            self._observe(session, request, "error", duration, queue_wait, spent)
+            if isinstance(exc, DeadlineExceededError):
+                self.metrics.counter(
+                    "service_deadline_timeouts",
+                    tenant=session.tenant,
+                    plan=request.plan,
+                ).inc()
+                outcome = "timeout"
+            else:
+                outcome = "error"
+            self._observe(session, request, outcome, duration, queue_wait, spent)
             _attach_failure(
                 exc,
                 RequestFailure(
@@ -321,7 +589,10 @@ class PlanScheduler:
                 ),
             )
             raise
-        after = session.kernel.budget_snapshot()
+        finally:
+            kernel.deadline = None
+            kernel.deadline_started = None
+        after = kernel.budget_snapshot()
         duration = time.perf_counter() - start
         response = QueryResponse(
             request_id=request.request_id,
@@ -341,6 +612,19 @@ class PlanScheduler:
         self.measurement_cache.store(
             session, key, response, before.num_measurements, after.num_measurements
         )
+        if session.journal is not None:
+            # Journal the release before the event that claims it: restores
+            # replay the answer byte-identical into the cache, so an
+            # identical post-crash request costs zero additional ε.
+            session.journal.append(
+                {
+                    "kind": "release",
+                    "key": encode(key),
+                    "response": encode(response_state(response)),
+                    "history_start": before.num_measurements,
+                    "history_end": after.num_measurements,
+                }
+            )
         session.record(
             SessionEvent(
                 request_id=request.request_id,
@@ -391,6 +675,13 @@ class PlanScheduler:
         ``request_failure`` carrying the request id, batch slot, originating
         trace id and any partial spend — so a failed slot never loses its
         batch context.
+
+        A worker that dies outright (:class:`~repro.durability.WorkerDeath`,
+        which bypasses all ``except Exception`` accounting) is handled here:
+        the collector claims any budget/history the dead request charged but
+        never recorded — via :meth:`Session.claim_orphans` — as one errored
+        event with the true partial spend, so the session's ledger still
+        reconciles exactly; its failure carries ``ledgered=False``.
         """
         assigned = []
         for request in requests:
@@ -411,31 +702,60 @@ class PlanScheduler:
             for index, (request, future) in enumerate(zip(assigned, futures)):
                 try:
                     results.append(future.result())
-                except Exception as exc:
+                except (Exception, WorkerDeath) as exc:
                     failure = RequestFailure.of(exc)
                     if failure is None:
-                        # The request died before reaching the execution path
-                        # (e.g. an unknown session id): synthesise the context.
+                        # The request died before the accounting path could
+                        # run — a dead worker, an unknown session id:
+                        # synthesise the context and flag it un-ledgered.
                         failure = RequestFailure(
                             request_id=request.request_id,
                             session_id=request.session_id,
                             plan=request.plan,
                             error_type=type(exc).__name__,
                             message=str(exc),
+                            ledgered=False,
                         )
                     if failure.batch_index is None:
                         failure = replace(failure, batch_index=index)
+                    if not failure.ledgered:
+                        try:
+                            orphans = self._claim_orphaned_spend(request, exc)
+                        except Exception:
+                            # A journal hiccup on the cleanup commit must not
+                            # sink the batch: the claim events are already in
+                            # the in-memory ledger, and a restore re-claims
+                            # whatever didn't reach disk.
+                            orphans = []
+                        if orphans:
+                            spent = math.fsum(o.epsilon_spent for o in orphans)
+                            failure = replace(failure, epsilon_spent=spent)
                     _attach_failure(exc, failure)
                     results.append(exc)
         if not return_exceptions:
             for outcome in results:
-                if isinstance(outcome, Exception):
+                if isinstance(outcome, BaseException):
                     raise outcome
         return results
+
+    def _claim_orphaned_spend(
+        self, request: QueryRequest, exc: BaseException
+    ) -> list[SessionEvent]:
+        """Balance the ledger after a request died outside the except path."""
+        try:
+            session = self.manager.get(request.session_id)
+        except KeyError:
+            return []  # the request never resolved to a session
+        orphans = session.claim_orphans(error=type(exc).__name__)
+        if orphans:
+            self._commit_journal(session)
+            self.metrics.counter(
+                "service_orphaned_requests", tenant=session.tenant
+            ).inc()
+        return orphans
 
     def _execute_assigned(
         self, request: QueryRequest, queued_at: float | None = None
     ) -> QueryResponse:
         session = self.manager.get(request.session_id)
-        with session.lock:
-            return self._execute_locked(session, request, queued_at=queued_at)
+        return self._execute_guarded(session, request, queued_at)

@@ -6,6 +6,14 @@ handle, a lazily-vectorised source plans run against, a re-entrant lock that
 serialises all budget-spending work on the kernel, and an append-only audit
 trail of :class:`SessionEvent` records (one per scheduled request).
 
+Sessions can be made **durable** by attaching a
+:class:`~repro.durability.PrivacyJournal`: every accepted budget charge,
+every kernel measurement record and every audit-trail event is appended to
+the journal the instant it happens — charges *before* the in-memory ledger
+mutates — so a crash at any instruction loses at most budget, never
+accounting integrity.  :meth:`Session.snapshot` and
+:func:`repro.durability.restore_session` round-trip the whole state.
+
 The :class:`SessionManager` creates and tracks sessions.  Isolation is
 structural: every session has its own kernel, its own budget tracker and its
 own lock, so concurrent work on different sessions can never cross budgets.
@@ -14,13 +22,15 @@ own lock, so concurrent work on different sessions can never cross budgets.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from ..accounting import Accountant, make_accountant
 from ..dataset.relation import Relation
+from ..private.budget import LEDGER_TOLERANCE
 from ..private.kernel import BudgetSnapshot, MeasurementRecord, ProtectedKernel
 from ..private.protected import ProtectedDataSource
 
@@ -82,6 +92,12 @@ class Session:
         self.base_seed = (
             int(np.random.SeedSequence().entropy) if seed is None else int(seed)
         )
+        #: the (ε, δ) target the session was *requested* with — the
+        #: accountant's constructor arguments, which a snapshot records so a
+        #: restore can rebuild an identical accountant (``epsilon_total`` is
+        #: ε even for a zCDP session whose native budget is ρ).
+        self.requested_epsilon_total = float(epsilon_total)
+        self.requested_delta = float(delta)
         #: per-tenant privacy calculus: ``None``/``"pure"`` is the paper's
         #: ε-DP; ``"approx"``/``"zcdp"`` resolve against the tenant's
         #: ``(epsilon_total, delta)`` target; an Accountant instance is used
@@ -97,7 +113,15 @@ class Session:
         self.events: list[SessionEvent] = []
         self._root = ProtectedDataSource(self.kernel, "root")
         self._vector: ProtectedDataSource | None = None
-        self._request_counter = itertools.count(1)
+        #: number of request ids handed out so far (a plain int so snapshots
+        #: can record and restore it; mutated only under the session lock).
+        self.request_counter = 0
+        #: durable write-ahead journal; None until :meth:`attach_journal`.
+        self.journal = None
+        #: populated by :func:`repro.durability.restore_session` on a
+        #: restored session (replayed record count, orphan event, reconcile).
+        self.recovery_info: dict | None = None
+        self._closing = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -147,15 +171,141 @@ class Session:
 
     def next_request_id(self) -> str:
         """Sequential request ids; also the anchor of per-request seeding."""
-        return f"{self.session_id}-r{next(self._request_counter)}"
+        with self.lock:
+            self.request_counter += 1
+            return f"{self.session_id}-r{self.request_counter}"
 
     def record(self, event: SessionEvent) -> None:
+        """Append one audit-trail event, journal-first when durable."""
         with self.lock:
+            if self.journal is not None:
+                # vars(), not asdict(): SessionEvent is flat scalars, and
+                # asdict's recursive copying is measurable on the hot path.
+                self.journal.append({"kind": "event", **vars(event)})
             self.events.append(event)
 
     def measurements_for(self, event: SessionEvent) -> list[MeasurementRecord]:
         """The kernel history records produced by one audit-trail event."""
         return self.kernel.history()[event.history_start : event.history_end]
+
+    # ------------------------------------------------------------------
+    # Durability.
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal, write_open: bool = True) -> None:
+        """Mirror all privacy-relevant state changes into ``journal``.
+
+        Wires the write-ahead hooks: accepted root-level budget charges are
+        appended *before* the in-memory ledger mutates (an append failure
+        aborts the charge; a crash right after it merely wastes the charged
+        budget), measurement records before the noisy answer is returned,
+        audit events before they land on :attr:`events`.  ``write_open``
+        stamps the session's opening metadata so the journal alone suffices
+        to rebuild the session (restores pass ``False``: their journal
+        already has it).
+        """
+        with self.lock:
+            self.journal = journal
+            tracker = self.kernel.budget_tracker
+            tracker.charge_listener = lambda cost: journal.append(
+                {"kind": "charge", "p": cost.primary, "d": cost.delta}
+            )
+            self.kernel.measurement_listener = lambda record: journal.append(
+                {"kind": "measurement", **vars(record)}
+            )
+            if write_open:
+                journal.append(
+                    {
+                        "kind": "open",
+                        "session_id": self.session_id,
+                        "tenant": self.tenant,
+                        "base_seed": self.base_seed,
+                        "epsilon_total": self.requested_epsilon_total,
+                        "delta": self.requested_delta,
+                        "accountant": self.accountant.name,
+                        "describe": self.accountant.describe(),
+                    }
+                )
+                journal.commit()
+
+    def detach_journal(self) -> None:
+        """Stop journaling (the journal itself is left to the caller)."""
+        with self.lock:
+            self.kernel.budget_tracker.charge_listener = None
+            self.kernel.measurement_listener = None
+            self.journal = None
+
+    def snapshot(self, measurement_cache=None) -> dict:
+        """JSON-ready snapshot of the session's durable state.
+
+        Delegates to :func:`repro.durability.snapshot_session`; pass the
+        scheduler's measurement cache to include released answers.
+        """
+        from ..durability.snapshot import snapshot_session
+
+        return snapshot_session(self, measurement_cache=measurement_cache)
+
+    def claim_orphans(self, error: str = "WorkerDeath") -> list[SessionEvent]:
+        """Ledger budget/history a dead request charged but never recorded.
+
+        A worker that dies mid-request (or a crash inside the charge-ahead
+        window) leaves kernel-side spend and history rows no audit event
+        claims, so :func:`~repro.service.export.reconcile` would flag the
+        session forever.  This synthesizes errored events claiming exactly
+        the unclaimed history rows — one event per contiguous run, since a
+        dead request's rows can be a *hole* when later requests completed
+        after it — restoring the one-event-per-charge invariant.  Each run
+        is priced from the kernel's own per-record costs; any residual
+        spend with no history row at all (a death between charge and
+        record, the charge-ahead window) rides on the last event.  Returns
+        the synthesized events (empty when the ledgers already balance).
+        """
+        with self.lock:
+            history = self.kernel.history()
+            num_records = len(history)
+            claimed = set()
+            for event in self.events:
+                if not event.cached:
+                    claimed.update(range(event.history_start, event.history_end))
+            unclaimed = [i for i in range(num_records) if i not in claimed]
+            orphan_spend = self.kernel.budget_consumed() - math.fsum(
+                event.epsilon_spent for event in self.events
+            )
+            if orphan_spend <= LEDGER_TOLERANCE and not unclaimed:
+                return []
+            # Contiguous runs of unclaimed indices, e.g. [1, 2, 5] -> [1,3), [5,6).
+            runs: list[list[int]] = []
+            for index in unclaimed:
+                if runs and index == runs[-1][1]:
+                    runs[-1][1] = index + 1
+                else:
+                    runs.append([index, index + 1])
+            if not runs:
+                # Spend with no history row: claim it on an empty tail span.
+                runs.append([num_records, num_records])
+            recorded = math.fsum(
+                history[i].cost for run in runs for i in range(run[0], run[1])
+            )
+            residual = max(orphan_spend - recorded, 0.0)
+            events = []
+            for k, (start, end) in enumerate(runs):
+                spend = math.fsum(history[i].cost for i in range(start, end))
+                if k == len(runs) - 1:
+                    spend += residual
+                event = SessionEvent(
+                    request_id=self.next_request_id(),
+                    plan="(orphaned)",
+                    workload=None,
+                    epsilon_requested=0.0,
+                    epsilon_spent=spend,
+                    cached=False,
+                    seed=None,
+                    history_start=start,
+                    history_end=end,
+                    error=error,
+                )
+                self.record(event)
+                events.append(event)
+            return events
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -164,8 +314,20 @@ class Session:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def closing(self) -> bool:
+        """True once a close has begun: new requests must be rejected."""
+        return self._closing or self._closed
+
+    def begin_close(self) -> None:
+        """Stop admitting new requests (in-flight work may still drain)."""
+        self._closing = True
+
     def close(self) -> None:
+        self._closing = True
         self._closed = True
+        if self.journal is not None:
+            self.journal.commit()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -191,13 +353,16 @@ class SessionManager:
         session_id: str | None = None,
         accountant: str | Accountant | None = None,
         delta: float = 1e-6,
+        journal=None,
     ) -> Session:
         """Open a session for ``tenant`` around a fresh protected kernel.
 
         ``accountant`` picks the tenant's privacy calculus (``"pure"``,
         ``"approx"``, ``"zcdp"`` or an :class:`~repro.accounting.Accountant`
         instance); ``delta`` is the δ of the tenant's ``(ε, δ)`` target for
-        the non-pure accountants.
+        the non-pure accountants.  ``journal`` attaches a
+        :class:`~repro.durability.PrivacyJournal` making the session
+        crash-safe from its very first charge.
         """
         with self._lock:
             if session_id is None:
@@ -214,7 +379,20 @@ class SessionManager:
                 delta=delta,
             )
             self._sessions[session_id] = session
-            return session
+        if journal is not None:
+            session.attach_journal(journal)
+        return session
+
+    def adopt(self, session: Session) -> Session:
+        """Index an externally-built session (the restore path)."""
+        with self._lock:
+            if session.session_id in self._sessions:
+                raise ValueError(
+                    f"session {session.session_id!r} already exists; close it "
+                    "before adopting a restored replacement"
+                )
+            self._sessions[session.session_id] = session
+        return session
 
     def get(self, session_id: str) -> Session:
         with self._lock:
@@ -222,14 +400,47 @@ class SessionManager:
                 raise KeyError(f"unknown session {session_id!r}")
             return self._sessions[session_id]
 
-    def close(self, session_id: str) -> Session:
+    def close(self, session_id: str, drain: bool = True, timeout: float | None = None) -> Session:
         """Close and drop a session; its kernel (and budget ledger) survives
-        on the returned object for final auditing."""
+        on the returned object for final auditing.
+
+        Closing a session with requests in flight is well-defined:
+
+        * the session stops admitting new requests immediately (they raise
+          :class:`~repro.service.robustness.SessionClosedError`, un-ledgered
+          — they never touched the session);
+        * with ``drain=True`` (the default) the close then waits for the
+          session lock, i.e. for every in-flight request to finish and be
+          ledgered, before marking the session closed — the returned ledger
+          is final and reconciles;
+        * with ``drain=False`` the session is marked closed without waiting;
+          an in-flight request still completes and is ledgered (it already
+          held the lock), but the caller gets the session back immediately.
+
+        ``timeout`` bounds the drain wait in seconds; on expiry the session
+        is closed without further waiting (as if ``drain=False``).
+        """
         with self._lock:
-            session = self._sessions.pop(session_id, None)
+            session = self._sessions.get(session_id)
         if session is None:
             raise KeyError(f"unknown session {session_id!r}")
-        session.close()
+        # Reject new work first, then drain: requests that arrive after this
+        # line never execute, so the lock wait below is bounded by work that
+        # was already in flight.
+        session.begin_close()
+        if drain:
+            acquired = session.lock.acquire(
+                timeout=-1 if timeout is None else timeout
+            )
+            try:
+                session.close()
+            finally:
+                if acquired:
+                    session.lock.release()
+        else:
+            session.close()
+        with self._lock:
+            self._sessions.pop(session_id, None)
         return session
 
     def sessions(self) -> list[Session]:

@@ -1,0 +1,993 @@
+"""Crash-safety tests: journal, snapshot/restore, faults, request lifecycle.
+
+The core invariants, verified deterministically and under randomised fault
+schedules (hypothesis):
+
+* **exactness** — a restored session always reconciles *exactly*: the sum of
+  its audit events' spend equals its kernel ledger, and every measurement
+  record is claimed by exactly one event (orphans from the crash window are
+  claimed by a synthesized errored event);
+* **byte identity** — answers released before the crash replay after restore
+  with bit-for-bit identical arrays, at zero additional ε;
+* **charge-ahead** — no fault schedule can release an answer whose charges
+  are not journaled; faults can only *waste* budget.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import Attribute, Relation, Schema
+from repro.durability import (
+    FaultInjector,
+    InjectedFault,
+    PrivacyJournal,
+    RecoveryError,
+    WorkerDeath,
+    decode,
+    encode,
+    restore_session,
+    snapshot_session,
+)
+from repro.durability.journal import _encode_line
+from repro.private import DeadlineExceededError
+from repro.service import (
+    AdmissionController,
+    AdmissionError,
+    CircuitBreaker,
+    MeasurementCache,
+    PlanScheduler,
+    QueryRequest,
+    RequestFailure,
+    RetryPolicy,
+    SessionClosedError,
+    SessionManager,
+    reconcile,
+)
+from repro.telemetry.clock import ManualClock
+
+N = 64
+
+
+@pytest.fixture
+def relation(small_vector):
+    schema = Schema.build([Attribute("v", len(small_vector))])
+    return Relation.from_histogram(schema, small_vector)
+
+
+@pytest.fixture
+def manager():
+    return SessionManager()
+
+
+def identity_request(session, epsilon=0.1, **overrides):
+    request = QueryRequest(
+        session.session_id,
+        plan="Identity",
+        epsilon=epsilon,
+        workload="prefix",
+        workload_params={"n": N},
+    )
+    return replace(request, **overrides) if overrides else request
+
+
+def dawa_request(session, epsilon=0.4, **overrides):
+    """DAWA spends its budget over two kernel charges — the partial-spend probe."""
+    request = QueryRequest(
+        session.session_id,
+        plan="DAWA",
+        epsilon=epsilon,
+        workload="prefix",
+        workload_params={"n": N},
+    )
+    return replace(request, **overrides) if overrides else request
+
+
+# ======================================================================
+# Serialisation.
+# ======================================================================
+class TestSerialize:
+    def test_ndarray_roundtrip_is_byte_identical(self):
+        rng = np.random.default_rng(0)
+        for array in [
+            rng.standard_normal(17),
+            rng.standard_normal((3, 5)),
+            np.arange(6, dtype=np.int32).reshape(2, 3),
+            np.array([], dtype=np.float64),
+        ]:
+            back = decode(encode(array))
+            assert back.dtype == array.dtype
+            assert back.shape == array.shape
+            assert back.tobytes() == array.tobytes()
+
+    def test_nested_tuple_roundtrip_preserves_types(self):
+        value = ("query", "Identity", (("n", 64), ("x", (1, 2.5))), None, 0.1)
+        back = decode(encode(value))
+        assert back == value
+        assert isinstance(back, tuple)
+        assert isinstance(back[2], tuple)
+        assert isinstance(back[2][0], tuple)
+
+    def test_scalars_bytes_and_dicts(self):
+        value = {
+            "i": np.int64(7),
+            "f": np.float64(1.5),
+            "b": np.bool_(True),
+            "raw": b"\x00\xff",
+            "nested": {"t": (1, 2)},
+        }
+        back = decode(encode(value))
+        assert back["i"] == 7 and isinstance(back["i"], int)
+        assert back["f"] == 1.5
+        assert back["b"] is True
+        assert back["raw"] == b"\x00\xff"
+        assert back["nested"]["t"] == (1, 2)
+
+    def test_dict_colliding_with_tag_keys_is_escaped(self):
+        value = {"__tuple__": [1, 2], "other": 3}
+        back = decode(encode(value))
+        assert back == value and isinstance(back["__tuple__"], list)
+
+    def test_unknown_objects_degrade_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert decode(encode(Opaque())) == "<opaque>"
+
+
+# ======================================================================
+# Journal.
+# ======================================================================
+class TestJournal:
+    def test_append_commit_reopen(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with PrivacyJournal(path) as journal:
+            assert journal.append({"kind": "charge", "p": 0.1, "d": 0.0}) == 1
+            assert journal.append({"kind": "charge", "p": 0.2, "d": 0.0}) == 2
+            journal.commit()
+        reopened = PrivacyJournal(path)
+        assert reopened.seq == 2
+        assert [r["p"] for r in reopened.records()] == [0.1, 0.2]
+        assert reopened.records(after_seq=1)[0]["seq"] == 2
+        # Appends continue the sequence.
+        assert reopened.append({"kind": "charge", "p": 0.3, "d": 0.0}) == 3
+        reopened.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with PrivacyJournal(path) as journal:
+            journal.append({"kind": "charge", "p": 0.1, "d": 0.0})
+            journal.append({"kind": "charge", "p": 0.2, "d": 0.0})
+        # Simulate a crash mid-append: half a line, no newline.
+        with open(path, "ab") as f:
+            f.write(b"deadbeef {\"seq\":3,\"kind\":\"char")
+        recovered = PrivacyJournal(path)
+        assert recovered.seq == 2
+        assert recovered.truncated_bytes > 0
+        assert recovered.truncated_records == 1
+        # The file itself was repaired: a further reopen is clean.
+        recovered.close()
+        assert PrivacyJournal(path).truncated_bytes == 0
+
+    def test_corrupt_record_truncates_rest(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with PrivacyJournal(path) as journal:
+            for i in range(4):
+                journal.append({"kind": "charge", "p": float(i), "d": 0.0})
+        raw = path.read_bytes()
+        lines = raw.split(b"\n")
+        # Flip a byte inside the third record's payload.
+        lines[2] = lines[2][:-2] + b"X" + lines[2][-1:]
+        path.write_bytes(b"\n".join(lines))
+        recovered = PrivacyJournal(path)
+        # Prefix durability: records after the corrupt one are gone too.
+        assert recovered.seq == 2
+        assert recovered.truncated_records == 2
+
+    def test_sequence_gap_truncates(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with open(path, "wb") as f:
+            f.write(_encode_line({"seq": 1, "kind": "charge", "p": 0.1, "d": 0.0}))
+            f.write(_encode_line({"seq": 3, "kind": "charge", "p": 0.3, "d": 0.0}))
+        recovered = PrivacyJournal(path)
+        assert recovered.seq == 1
+
+    def test_in_memory_journal(self):
+        journal = PrivacyJournal(None, fsync="never")
+        journal.append({"kind": "charge", "p": 0.1, "d": 0.0})
+        assert len(journal) == 1
+        assert journal.stats["path"] is None
+
+    def test_append_fault_raises_and_leaves_no_record(self):
+        faults = FaultInjector()
+        faults.arm("journal.append", after=1)
+        journal = PrivacyJournal(None, fault_injector=faults)
+        journal.append({"kind": "charge", "p": 0.1, "d": 0.0})
+        with pytest.raises(InjectedFault):
+            journal.append({"kind": "charge", "p": 0.2, "d": 0.0})
+        assert journal.seq == 1
+
+
+# ======================================================================
+# Fault injector.
+# ======================================================================
+class TestFaultInjector:
+    def test_schedule_fires_exact_hits(self):
+        faults = FaultInjector()
+        faults.arm("kernel.before_charge", after=2, times=1)
+        for _ in range(2):
+            faults.fire("kernel.before_charge")
+        with pytest.raises(InjectedFault):
+            faults.fire("kernel.before_charge")
+        faults.fire("kernel.before_charge")  # spent
+        assert [f.hit for f in faults.fired] == [3]
+
+    def test_delay_only_spec_does_not_raise(self):
+        faults = FaultInjector()
+        faults.arm("journal.fsync", delay=0.001)
+        started = time.perf_counter()
+        faults.fire("journal.fsync")
+        assert time.perf_counter() - started >= 0.001
+
+    def test_custom_exception_and_reset(self):
+        faults = FaultInjector()
+        faults.arm("scheduler.worker", exception=WorkerDeath())
+        with pytest.raises(WorkerDeath):
+            faults.fire("scheduler.worker")
+        faults.reset()
+        faults.fire("scheduler.worker")
+        assert faults.fired == []
+
+
+# ======================================================================
+# Journal wiring through the service.
+# ======================================================================
+class TestJournaledSession:
+    def test_charges_are_journaled_before_release(self, manager, relation):
+        journal = PrivacyJournal(None, fsync="never")
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 4.0, seed=0, journal=journal
+        )
+        scheduler.execute(identity_request(session))
+        kinds = [record["kind"] for record in journal.records()]
+        assert kinds == ["open", "charge", "measurement", "release", "event"]
+
+    def test_journal_append_failure_aborts_charge_cleanly(self, manager, relation):
+        faults = FaultInjector()
+        journal = PrivacyJournal(None, fsync="never", fault_injector=faults)
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 4.0, seed=0, journal=journal
+        )
+        faults.arm("journal.append", after=0, times=1)  # first post-open append
+        with pytest.raises(InjectedFault):
+            scheduler.execute(identity_request(session))
+        # WAL ordering: the failed append aborted the charge entirely.
+        assert session.budget_consumed() == 0.0
+        assert reconcile(session)["exact"]
+        # The session keeps working afterwards.
+        response = scheduler.execute(identity_request(session))
+        assert response.epsilon_spent == pytest.approx(0.1)
+        assert reconcile(session)["exact"]
+
+    def test_cached_replay_appends_event_only(self, manager, relation):
+        journal = PrivacyJournal(None, fsync="never")
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 4.0, seed=0, journal=journal
+        )
+        scheduler.execute(identity_request(session))
+        before = len(journal)
+        scheduler.execute(identity_request(session))
+        new = journal.records(after_seq=before)
+        assert [record["kind"] for record in new] == ["event"]
+        assert new[0]["cached"] is True
+
+
+# ======================================================================
+# Snapshot / restore.
+# ======================================================================
+class TestSnapshotRestore:
+    def _run_session(self, manager, relation, journal, requests=3):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 4.0, seed=7, journal=journal
+        )
+        responses = [
+            scheduler.execute(identity_request(session, epsilon=0.1 * (i + 1)))
+            for i in range(requests)
+        ]
+        return scheduler, session, responses
+
+    def test_snapshot_plus_journal_suffix_restores_exactly(self, manager, relation, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = PrivacyJournal(path)
+        scheduler, session, responses = self._run_session(manager, relation, journal, 2)
+        snap = scheduler.snapshot_session(session.session_id)
+        third = scheduler.execute(identity_request(session, epsilon=0.3))
+        journal.close()
+
+        fresh = PlanScheduler(SessionManager())
+        restored = fresh.restore_session(
+            relation, snapshot=snap, journal=PrivacyJournal(path)
+        )
+        assert restored.budget_consumed() == pytest.approx(session.budget_consumed())
+        assert len(restored.events) == len(session.events)
+        assert reconcile(restored)["exact"]
+        assert restored.recovery_info["orphaned_event"] is None
+        # The post-snapshot answer replays from cache, byte-identical, free.
+        replay = fresh.execute(identity_request(restored, epsilon=0.3))
+        assert replay.cached
+        assert replay.x_hat.tobytes() == third.x_hat.tobytes()
+        assert restored.budget_consumed() == pytest.approx(session.budget_consumed())
+
+    def test_journal_only_restore(self, manager, relation, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = PrivacyJournal(path)
+        scheduler, session, responses = self._run_session(manager, relation, journal)
+        journal.close()
+
+        fresh = PlanScheduler(SessionManager())
+        restored = fresh.restore_session(relation, journal=PrivacyJournal(path))
+        assert restored.budget_consumed() == pytest.approx(session.budget_consumed())
+        assert reconcile(restored)["exact"]
+        for i, original in enumerate(responses):
+            replay = fresh.execute(identity_request(restored, epsilon=0.1 * (i + 1)))
+            assert replay.cached
+            assert replay.x_hat.tobytes() == original.x_hat.tobytes()
+            assert replay.answers.tobytes() == original.answers.tobytes()
+
+    def test_snapshot_only_restore(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=7)
+        response = scheduler.execute(identity_request(session))
+        snap = scheduler.snapshot_session(session.session_id)
+        fresh = PlanScheduler(SessionManager())
+        restored = fresh.restore_session(relation, snapshot=snap)
+        assert reconcile(restored)["exact"]
+        replay = fresh.execute(identity_request(restored))
+        assert replay.cached
+        assert replay.x_hat.tobytes() == response.x_hat.tobytes()
+
+    def test_snapshot_is_json_serialisable(self, manager, relation):
+        import json
+
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=7)
+        scheduler.execute(identity_request(session))
+        snap = scheduler.snapshot_session(session.session_id)
+        roundtrip = json.loads(json.dumps(snap))
+        restored = PlanScheduler(SessionManager()).restore_session(
+            relation, snapshot=roundtrip
+        )
+        assert reconcile(restored)["exact"]
+
+    def test_restored_charges_keep_spending_from_true_remainder(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 1.0, seed=7)
+        scheduler.execute(identity_request(session, epsilon=0.7))
+        snap = scheduler.snapshot_session(session.session_id)
+        fresh = PlanScheduler(SessionManager())
+        restored = fresh.restore_session(relation, snapshot=snap)
+        # 0.3 remains: a 0.4 request must be rejected post-restore.
+        from repro.private import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError):
+            fresh.execute(identity_request(restored, epsilon=0.4))
+        fresh.execute(identity_request(restored, epsilon=0.3))
+        assert reconcile(restored)["exact"]
+
+    def test_zcdp_session_restores(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 2.0, seed=3, accountant="zcdp", delta=1e-6
+        )
+        scheduler.execute(identity_request(session))
+        snap = scheduler.snapshot_session(session.session_id)
+        restored = PlanScheduler(SessionManager()).restore_session(relation, snapshot=snap)
+        assert restored.accountant.name == "zcdp"
+        assert restored.budget_consumed() == pytest.approx(session.budget_consumed())
+        assert reconcile(restored)["exact"]
+
+    def test_accountant_mismatch_raises_in_strict_mode(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=7)
+        scheduler.execute(identity_request(session))
+        snap = scheduler.snapshot_session(session.session_id)
+        snap["accountant"]["describe"]["epsilon_budget"] = 99.0
+        with pytest.raises(RecoveryError):
+            restore_session(relation, snapshot=snap)
+        restored = restore_session(relation, snapshot=snap, strict=False)
+        assert reconcile(restored)["exact"]
+
+    def test_manager_refuses_duplicate_adoption(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=7)
+        scheduler.execute(identity_request(session))
+        snap = scheduler.snapshot_session(session.session_id)
+        with pytest.raises(ValueError, match="already exists"):
+            scheduler.restore_session(relation, snapshot=snap)
+
+    def test_restored_request_ids_do_not_collide(self, manager, relation, tmp_path):
+        journal = PrivacyJournal(tmp_path / "j.wal")
+        scheduler, session, _ = self._run_session(manager, relation, journal)
+        journal.close()
+        fresh = PlanScheduler(SessionManager())
+        restored = fresh.restore_session(
+            relation, journal=PrivacyJournal(tmp_path / "j.wal")
+        )
+        seen = {event.request_id for event in restored.events}
+        fresh_response = fresh.execute(
+            identity_request(restored, epsilon=0.05, reuse=False)
+        )
+        assert fresh_response.request_id not in seen
+
+    def test_restored_stub_sources_reject_measurement(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=7)
+        scheduler.execute(identity_request(session))
+        snap = scheduler.snapshot_session(session.session_id)
+        restored = restore_session(relation, snapshot=snap)
+        from repro.private import InvalidTransformationError
+        from repro.workload.builders import identity_workload
+
+        stub_names = [
+            name
+            for name, kind in snap["kernel"]["source_kinds"].items()
+            if name != "root" and kind == "vector"
+        ]
+        assert stub_names
+        with pytest.raises(InvalidTransformationError, match="restored without data"):
+            restored.kernel.measure_vector_laplace(
+                stub_names[0], identity_workload(N), 0.1
+            )
+
+
+# ======================================================================
+# Crash window: orphaned spend.
+# ======================================================================
+class TestOrphanClaiming:
+    def test_worker_death_after_charge_is_claimed_in_batch(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        session.kernel.fault_injector = faults
+        # Die inside the charge-ahead window of the second DAWA charge.
+        faults.arm("kernel.after_charge", after=1, exception=WorkerDeath())
+        results = scheduler.execute_batch(
+            [dawa_request(session, epsilon=0.4)], return_exceptions=True
+        )
+        assert isinstance(results[0], WorkerDeath)
+        failure = RequestFailure.of(results[0])
+        assert failure is not None and not failure.ledgered
+        assert failure.epsilon_spent > 0.0
+        # The dead request's spend was claimed: the ledger balances exactly.
+        assert session.budget_consumed() > 0.0
+        assert reconcile(session)["exact"]
+        orphan = session.events[-1]
+        assert orphan.error == "WorkerDeath"
+        assert orphan.epsilon_spent == pytest.approx(failure.epsilon_spent)
+
+    def test_worker_death_at_entry_spends_nothing(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager, fault_injector=faults)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        faults.arm("scheduler.worker", exception=WorkerDeath())
+        results = scheduler.execute_batch(
+            [identity_request(session)], return_exceptions=True
+        )
+        assert isinstance(results[0], WorkerDeath)
+        assert session.budget_consumed() == 0.0
+        assert session.events == []
+        assert reconcile(session)["exact"]
+
+    def test_batch_with_dead_worker_keeps_other_requests(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager)
+        session_a = manager.create_session("acme", relation, 4.0, seed=0)
+        session_b = manager.create_session("beta", relation, 4.0, seed=1)
+        session_a.kernel.fault_injector = faults
+        faults.arm("kernel.after_charge", exception=WorkerDeath())
+        results = scheduler.execute_batch(
+            [identity_request(session_a), identity_request(session_b)],
+            return_exceptions=True,
+        )
+        assert isinstance(results[0], WorkerDeath)
+        assert results[1].epsilon_spent == pytest.approx(0.1)
+        assert reconcile(session_a)["exact"]
+        assert reconcile(session_b)["exact"]
+
+    def test_without_exceptions_flag_worker_death_reraises(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager, fault_injector=faults)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        faults.arm("scheduler.worker", exception=WorkerDeath())
+        with pytest.raises(WorkerDeath):
+            scheduler.execute_batch([identity_request(session)])
+        assert reconcile(session)["exact"]
+
+    def test_orphans_survive_crash_and_restore(self, manager, relation, tmp_path):
+        path = tmp_path / "j.wal"
+        faults = FaultInjector()
+        journal = PrivacyJournal(path)
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 4.0, seed=0, journal=journal
+        )
+        session.kernel.fault_injector = faults
+        scheduler.execute(identity_request(session))
+        # The crash: a request dies inside the charge-ahead window and the
+        # process never gets to ledger anything about it.
+        faults.arm("kernel.after_charge", exception=WorkerDeath("crash"))
+        with pytest.raises(WorkerDeath):
+            scheduler.execute(identity_request(session, epsilon=0.2, reuse=False))
+        journal.close()
+
+        fresh = PlanScheduler(SessionManager())
+        restored = fresh.restore_session(relation, journal=PrivacyJournal(path))
+        # The journaled-but-unclaimed charge was claimed by a synthesized
+        # errored event: budget is wasted, never leaked, and the ledger is
+        # exact.
+        assert restored.budget_consumed() == pytest.approx(0.1 + 0.2)
+        assert reconcile(restored)["exact"]
+        orphan = restored.recovery_info["orphaned_event"]
+        assert orphan is not None
+        assert orphan["epsilon_spent"] == pytest.approx(0.2)
+        assert orphan["error"] == "CrashRecovery"
+
+
+# ======================================================================
+# Session close semantics.
+# ======================================================================
+class TestCloseSemantics:
+    def test_new_requests_rejected_after_close_begins(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        session.begin_close()
+        with pytest.raises(SessionClosedError):
+            scheduler.execute(identity_request(session))
+        # The rejection is not ledgered: the request never touched the session.
+        assert session.events == []
+
+    def test_drain_close_waits_for_inflight_request(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        release = threading.Event()
+        entered = threading.Event()
+        original_run = scheduler._run_locked
+
+        def slow_run(session_, request, queued_at, root):
+            entered.set()
+            release.wait(timeout=5)
+            return original_run(session_, request, queued_at, root)
+
+        scheduler._run_locked = slow_run
+        worker = threading.Thread(
+            target=lambda: scheduler.execute(identity_request(session))
+        )
+        worker.start()
+        assert entered.wait(timeout=5)
+        closer_done = threading.Event()
+        closed_session = []
+
+        def close():
+            closed_session.append(scheduler.close_session(session.session_id))
+            closer_done.set()
+
+        closer = threading.Thread(target=close)
+        closer.start()
+        # The close is draining: it must not finish while the request runs.
+        assert not closer_done.wait(timeout=0.2)
+        release.set()
+        worker.join(timeout=5)
+        assert closer_done.wait(timeout=5)
+        closer.join(timeout=5)
+        closed = closed_session[0]
+        # The in-flight request was ledgered before the close completed.
+        assert len(closed.events) == 1
+        assert closed.events[0].error == ""
+        assert reconcile(closed)["exact"]
+
+    def test_requests_queued_behind_close_are_rejected(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        with session.lock:
+            session.begin_close()
+        with pytest.raises(SessionClosedError):
+            scheduler.execute(identity_request(session))
+
+    def test_non_drain_close_returns_immediately(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        scheduler.execute(identity_request(session))
+        closed = scheduler.close_session(session.session_id, drain=False)
+        assert closed.closed
+        assert session.session_id not in manager
+
+
+# ======================================================================
+# Deadlines.
+# ======================================================================
+class TestDeadlines:
+    def test_expired_while_queued_is_ledgered_zero_spend(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        with pytest.raises(DeadlineExceededError):
+            scheduler.execute(identity_request(session, deadline_seconds=0.0))
+        assert session.budget_consumed() == 0.0
+        event = session.events[-1]
+        assert event.error == "DeadlineExceededError"
+        assert event.epsilon_spent == 0.0
+        assert reconcile(session)["exact"]
+        timeouts = scheduler.metrics.counter(
+            "service_deadline_timeouts", tenant="acme", plan="Identity"
+        )
+        assert timeouts.value == 1
+
+    def test_mid_plan_timeout_ledgers_true_partial_spend(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        session.kernel.fault_injector = faults
+        # Slow both DAWA charges; the deadline passes during the first one,
+        # so the kernel refuses the second charge before it spends.
+        faults.arm("kernel.before_charge", times=2, delay=0.05)
+        with pytest.raises(DeadlineExceededError):
+            scheduler.execute(dawa_request(session, epsilon=0.4, deadline_seconds=0.03))
+        event = session.events[-1]
+        assert event.error == "DeadlineExceededError"
+        assert 0.0 < event.epsilon_spent < 0.4
+        assert session.budget_consumed() == pytest.approx(event.epsilon_spent)
+        assert reconcile(session)["exact"]
+
+    def test_deadline_cleared_after_request(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        scheduler.execute(identity_request(session, deadline_seconds=30.0))
+        assert session.kernel.deadline is None
+        # A deadline-free request after a timed one is unaffected.
+        response = scheduler.execute(
+            identity_request(session, epsilon=0.2, reuse=False)
+        )
+        assert response.epsilon_spent == pytest.approx(0.2)
+
+    def test_deadline_does_not_change_cache_identity(self, manager, relation):
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        first = scheduler.execute(identity_request(session))
+        second = scheduler.execute(identity_request(session, deadline_seconds=30.0))
+        assert second.cached
+        assert second.x_hat.tobytes() == first.x_hat.tobytes()
+
+
+# ======================================================================
+# Retries.
+# ======================================================================
+class TestRetries:
+    def test_transient_fault_before_charge_retries_to_success(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        session.kernel.fault_injector = faults
+        faults.arm("kernel.before_charge", times=1)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        response = scheduler.execute_with_retry(identity_request(session), policy)
+        assert not response.cached
+        # One errored zero-spend event, one success; total spend charged once.
+        assert session.budget_consumed() == pytest.approx(0.1)
+        assert [event.error for event in session.events] == ["InjectedFault", ""]
+        assert reconcile(session)["exact"]
+
+    def test_fault_after_release_replays_from_cache_at_zero_epsilon(
+        self, manager, relation, tmp_path
+    ):
+        faults = FaultInjector()
+        journal = PrivacyJournal(tmp_path / "j.wal", fsync="always", fault_injector=faults)
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 4.0, seed=0, journal=journal
+        )
+        # The commit *after* the answer was stored fails (fsync hiccup).
+        # Hits count from arm time, so the attach-time commit is excluded:
+        # the very next fsync is the one closing out this request.
+        faults.arm("journal.fsync", after=0, times=1, exception=OSError("fsync"))
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        response = scheduler.execute_with_retry(identity_request(session), policy)
+        # Budget-safe: the retry found the stored answer and replayed it.
+        assert response.cached
+        assert session.budget_consumed() == pytest.approx(0.1)
+        assert reconcile(session)["exact"]
+        retries = scheduler.metrics.counter(
+            "service_retries", tenant="acme", plan="Identity"
+        )
+        assert retries.value == 1
+
+    def test_non_transient_fault_is_not_retried(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        session.kernel.fault_injector = faults
+        faults.arm("kernel.before_charge", times=3, transient=False)
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        with pytest.raises(InjectedFault):
+            scheduler.execute_with_retry(identity_request(session), policy)
+        # Only one attempt was made.
+        assert len(session.events) == 1
+
+    def test_attempts_are_bounded(self, manager, relation):
+        faults = FaultInjector()
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        session.kernel.fault_injector = faults
+        faults.arm("kernel.before_charge", times=100)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(InjectedFault):
+            scheduler.execute_with_retry(identity_request(session), policy)
+        assert len(session.events) == 3
+        assert session.budget_consumed() == 0.0
+        assert reconcile(session)["exact"]
+
+    def test_backoff_delays_grow_and_cap(self):
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.5, jitter=0.0)
+        rng = policy.rng()
+        delays = [policy.delay(k, rng) for k in range(1, 6)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+        jittered = RetryPolicy(base_delay=0.1, jitter=0.5, seed=1)
+        rng = jittered.rng()
+        assert all(0.05 <= jittered.delay(1, rng) <= 0.15 for _ in range(20))
+
+
+# ======================================================================
+# Admission control.
+# ======================================================================
+class TestAdmission:
+    def test_queue_depth_cap_rejects_unledgered(self, manager, relation):
+        admission = AdmissionController(max_queue_depth=1)
+        scheduler = PlanScheduler(manager, admission=admission)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        admission.acquire("other")  # saturate the global queue
+        with pytest.raises(AdmissionError, match="queue"):
+            scheduler.execute(identity_request(session))
+        assert session.events == []
+        assert session.budget_consumed() == 0.0
+        admission.release("other")
+        assert scheduler.execute(identity_request(session)).epsilon_spent > 0
+        assert admission.stats["rejections"] == 1
+
+    def test_per_tenant_cap(self, manager, relation):
+        admission = AdmissionController(max_inflight_per_tenant=1)
+        scheduler = PlanScheduler(manager, admission=admission)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        admission.acquire("acme")
+        with pytest.raises(AdmissionError, match="tenant"):
+            scheduler.execute(identity_request(session))
+        # Another tenant is unaffected by acme's cap.
+        other = manager.create_session("beta", relation, 4.0, seed=1)
+        assert scheduler.execute(identity_request(other)).epsilon_spent > 0
+        admission.release("acme")
+
+    def test_inflight_counters_return_to_zero(self, manager, relation):
+        admission = AdmissionController(max_queue_depth=4)
+        scheduler = PlanScheduler(manager, admission=admission)
+        session = manager.create_session("acme", relation, 4.0, seed=0)
+        scheduler.execute_batch(
+            [identity_request(session, epsilon=0.1 * (i + 1)) for i in range(3)]
+        )
+        stats = admission.stats
+        assert stats["in_flight"] == 0
+        assert stats["per_tenant"] == {}
+
+
+# ======================================================================
+# Circuit breaker.
+# ======================================================================
+class TestCircuitBreaker:
+    def _failing_setup(self, manager, relation, clock, threshold=2):
+        faults = FaultInjector()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, cooldown_seconds=10.0, clock=clock
+        )
+        scheduler = PlanScheduler(manager, breaker=breaker)
+        session = manager.create_session("acme", relation, 8.0, seed=0)
+        session.kernel.fault_injector = faults
+        return faults, breaker, scheduler, session
+
+    def test_opens_after_threshold_and_sheds_to_fallback(self, manager, relation):
+        clock = ManualClock()
+        faults, breaker, scheduler, session = self._failing_setup(
+            manager, relation, clock
+        )
+        faults.arm("kernel.before_charge", times=2)
+        request = dawa_request(session, epsilon=0.4)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                scheduler.execute(replace(request, reuse=False))
+        assert breaker.is_open("DAWA")
+        # Shed: the fallback Identity plan answers, marked degraded.
+        response = scheduler.execute(replace(request, reuse=False))
+        assert response.plan == "Identity"
+        assert response.info["degraded_from"] == "DAWA"
+        shed = scheduler.metrics.counter(
+            "service_shed_requests", tenant="acme", plan="DAWA"
+        )
+        assert shed.value == 1
+        assert reconcile(session)["exact"]
+
+    def test_probe_after_cooldown_closes_circuit(self, manager, relation):
+        clock = ManualClock()
+        faults, breaker, scheduler, session = self._failing_setup(
+            manager, relation, clock
+        )
+        faults.arm("kernel.before_charge", times=2)
+        request = dawa_request(session, epsilon=0.4)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                scheduler.execute(replace(request, reuse=False))
+        clock.advance(11.0)
+        # The probe runs the real plan (faults exhausted) and closes.
+        response = scheduler.execute(replace(request, reuse=False))
+        assert response.plan == "DAWA"
+        assert not breaker.is_open("DAWA")
+
+    def test_failed_probe_reopens(self, manager, relation):
+        clock = ManualClock()
+        faults, breaker, scheduler, session = self._failing_setup(
+            manager, relation, clock
+        )
+        faults.arm("kernel.before_charge", times=3)
+        request = dawa_request(session, epsilon=0.4)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                scheduler.execute(replace(request, reuse=False))
+        clock.advance(11.0)
+        with pytest.raises(InjectedFault):
+            scheduler.execute(replace(request, reuse=False))
+        assert breaker.is_open("DAWA")
+        # Still shedding inside the new cooldown window.
+        response = scheduler.execute(replace(request, reuse=False))
+        assert response.info["degraded_from"] == "DAWA"
+
+    def test_breaker_isolated_per_plan(self, manager, relation):
+        clock = ManualClock()
+        faults, breaker, scheduler, session = self._failing_setup(
+            manager, relation, clock
+        )
+        faults.arm("kernel.before_charge", times=2)
+        request = dawa_request(session, epsilon=0.4)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                scheduler.execute(replace(request, reuse=False))
+        assert breaker.is_open("DAWA")
+        response = scheduler.execute(identity_request(session))
+        assert not response.cached and "degraded_from" not in response.info
+
+
+# ======================================================================
+# Property suite: random fault schedules.
+# ======================================================================
+_FAULT_CHOICES = st.sampled_from(
+    [
+        ("kernel.before_charge", "fault"),
+        ("kernel.after_charge", "fault"),
+        ("kernel.after_charge", "death"),
+        ("journal.fsync", "oserror"),
+        ("scheduler.worker", "death"),
+    ]
+)
+
+
+@st.composite
+def fault_schedules(draw):
+    """A handful of independent fault arms with random skip counts."""
+    arms = draw(st.lists(_FAULT_CHOICES, min_size=0, max_size=3))
+    return [(point, mode, draw(st.integers(0, 4))) for point, mode in arms]
+
+
+def _property_relation():
+    """Fixture-free relation for hypothesis tests (function-scoped fixtures
+    are not reset between generated inputs)."""
+    histogram = np.random.default_rng(7).integers(0, 40, N).astype(float)
+    return Relation.from_histogram(Schema.build([Attribute("v", N)]), histogram)
+
+
+class TestCrashRecoveryProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=fault_schedules(), num_requests=st.integers(1, 4))
+    def test_restore_reconciles_exactly_under_any_fault_schedule(
+        self, tmp_path_factory, schedule, num_requests
+    ):
+        relation = _property_relation()
+        path = tmp_path_factory.mktemp("wal") / "j.wal"
+        faults = FaultInjector()
+        journal = PrivacyJournal(path, fsync="always", fault_injector=faults)
+        manager = SessionManager()
+        scheduler = PlanScheduler(manager, fault_injector=faults)
+        session = manager.create_session(
+            "acme", relation, 8.0, seed=11, journal=journal
+        )
+        session.kernel.fault_injector = faults
+        # Arm only after the session is open so every fault lands inside a
+        # request (hit counts start at arm time).
+        for point, mode, after in schedule:
+            exception = None
+            if mode == "death":
+                exception = WorkerDeath(point)
+            elif mode == "oserror":
+                exception = OSError(f"injected at {point}")
+            faults.arm(point, after=after, exception=exception)
+
+        requests = [
+            dawa_request(session, epsilon=0.2)
+            if i % 2
+            else identity_request(session, epsilon=0.1 * (i + 1))
+            for i in range(num_requests)
+        ]
+        results = scheduler.execute_batch(
+            requests, max_workers=1, return_exceptions=True
+        )
+        # Whatever the schedule did, the *live* session must reconcile (the
+        # batch collector claims worker-death orphans).
+        assert reconcile(session)["exact"]
+        live_consumed = session.budget_consumed()
+        journal.close()
+
+        # The crash: a brand-new process restores from the journal alone.
+        fresh = PlanScheduler(SessionManager())
+        restored = fresh.restore_session(relation, journal=PrivacyJournal(path))
+        assert reconcile(restored)["exact"]
+        assert restored.budget_consumed() == pytest.approx(live_consumed, abs=1e-9)
+
+        # Every answer released pre-crash replays byte-identical at zero ε.
+        spent_before = restored.budget_consumed()
+        for request, result in zip(requests, results):
+            if isinstance(result, BaseException) or result.cached:
+                continue
+            replay = fresh.execute(
+                replace(request, session_id=restored.session_id, request_id=None)
+            )
+            assert replay.cached
+            assert replay.x_hat.tobytes() == result.x_hat.tobytes()
+        assert restored.budget_consumed() == spent_before
+        assert reconcile(restored)["exact"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(cut=st.integers(1, 200))
+    def test_truncated_journal_tail_still_restores_consistently(
+        self, tmp_path_factory, cut
+    ):
+        """Losing an arbitrary tail of the journal never breaks exactness."""
+        relation = _property_relation()
+        path = tmp_path_factory.mktemp("wal") / "j.wal"
+        journal = PrivacyJournal(path)
+        manager = SessionManager()
+        scheduler = PlanScheduler(manager)
+        session = manager.create_session(
+            "acme", relation, 8.0, seed=5, journal=journal
+        )
+        for i in range(3):
+            scheduler.execute(identity_request(session, epsilon=0.1 * (i + 1)))
+        journal.close()
+
+        raw = path.read_bytes()
+        # Keep at least the open record (its line ends at the first newline).
+        head = raw.find(b"\n") + 1
+        truncated = raw[: max(head, len(raw) - cut)]
+        path.write_bytes(truncated)
+
+        restored = PlanScheduler(SessionManager()).restore_session(
+            relation, journal=PrivacyJournal(path)
+        )
+        # Prefix durability: whatever survived reconciles exactly, and spend
+        # never exceeds what was actually charged pre-crash.
+        assert reconcile(restored)["exact"]
+        assert restored.budget_consumed() <= session.budget_consumed() + 1e-9
