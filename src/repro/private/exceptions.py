@@ -22,6 +22,13 @@ class BudgetExceededError(PrivacyError):
             f"budget request of {requested:.6g} exceeds remaining budget {remaining:.6g}"
         )
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (here: the formatted
+        # message) into the two-argument constructor; reconstruct from the
+        # real fields instead so the executor's process backend can ship the
+        # concrete type between processes.
+        return (type(self), (self.requested, self.remaining))
+
 
 class DeadlineExceededError(PrivacyError):
     """Raised when a request's deadline expires before or during execution.
@@ -41,6 +48,9 @@ class DeadlineExceededError(PrivacyError):
             f"deadline of {deadline_seconds:.6g}s exceeded "
             f"({elapsed_seconds:.6g}s elapsed)"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.deadline_seconds, self.elapsed_seconds))
 
 
 class UnsupportedMechanismError(PrivacyError):

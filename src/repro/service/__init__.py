@@ -7,12 +7,19 @@ needs between the two — sessions, scheduling, caching and auditing:
 * :class:`SessionManager` / :class:`Session` — per-tenant kernels, each with
   its own epsilon ledger, lock and audit trail;
 * :class:`QueryRequest` / :class:`QueryResponse` — the data-free wire API;
-* :class:`PlanScheduler` — synchronous or thread-pooled execution of plans
-  from the registry, with deterministic per-request noise seeding;
+* :class:`PlanScheduler` — the execution core: a composable request pipeline
+  (:mod:`~repro.service.pipeline`) over pluggable executor backends
+  (:mod:`~repro.service.executors`: ``inline``/``thread``/``process``), with
+  deterministic per-request noise seeding that makes answers byte-identical
+  on every backend;
+* :class:`ShardRouter` / :class:`Shard` — consistent-hash session sharding
+  with exact live migration, duck-type interchangeable with
+  :class:`SessionManager`;
 * :class:`MeasurementCache` — budget-free replay of already-released answers
-  (post-processing), indexed against the kernel's query history;
-* :class:`ArtifactCache` — shared cache of data-independent constructions
-  (workload matrices and friends);
+  (post-processing), LRU-bounded, indexed against the kernel's query history;
+* :class:`ArtifactCache` — LRU cache of data-independent constructions
+  (workload matrices, strategy-keyed Gram factorisations), optionally backed
+  by a cross-process :class:`SharedArtifactStore` tier;
 * :mod:`~repro.service.export` — structured audit export and ledger
   reconciliation built on :mod:`repro.private.audit`, plus
   :func:`telemetry_report` for the scheduler's operational snapshot.
@@ -39,7 +46,16 @@ Typical usage::
 """
 
 from .api import QueryRequest, QueryResponse, RequestFailure
-from .artifact_cache import ArtifactCache
+from .artifact_cache import ArtifactCache, SharedArtifactStore
+from .executors import (
+    ExecutorBackend,
+    InlineExecutor,
+    PlanJob,
+    PlanJobOutcome,
+    ProcessExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from .export import (
     export_json,
     reconcile,
@@ -48,6 +64,7 @@ from .export import (
     telemetry_report,
 )
 from .measurement_cache import CachedAnswer, MeasurementCache
+from .pipeline import RequestContext, RequestPipeline
 from .robustness import (
     AdmissionController,
     AdmissionError,
@@ -57,6 +74,7 @@ from .robustness import (
 )
 from .scheduler import PlanScheduler, derive_request_seed
 from .session import Session, SessionEvent, SessionManager
+from .sharding import Shard, ShardRouter
 
 __all__ = [
     "QueryRequest",
@@ -65,11 +83,23 @@ __all__ = [
     "Session",
     "SessionEvent",
     "SessionManager",
+    "Shard",
+    "ShardRouter",
     "PlanScheduler",
     "derive_request_seed",
+    "ExecutorBackend",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "PlanJob",
+    "PlanJobOutcome",
+    "make_executor",
+    "RequestContext",
+    "RequestPipeline",
     "MeasurementCache",
     "CachedAnswer",
     "ArtifactCache",
+    "SharedArtifactStore",
     "AdmissionController",
     "AdmissionError",
     "CircuitBreaker",

@@ -2,16 +2,30 @@
 
 Workload matrices, measurement strategies and workload reductions depend only
 on public parameters (domain sizes, query counts, seeds), never on private
-data — so they are safe to share across sessions and tenants.  Building them
-is often the dominant cost of a request on small domains; this cache keys
-them by the canonical hashable keys from
+data — so they are safe to share across sessions, tenants, shards and even
+processes.  Building them is often the dominant cost of a request on small
+domains; this cache keys them by the canonical hashable keys from
 :func:`repro.workload.builders.workload_cache_key` (or any caller-provided
 hashable key) and rebuilds only on first use.
+
+Two tiers:
+
+* :class:`ArtifactCache` — the in-process tier every scheduler holds.  LRU
+  when size-bounded: a hit refreshes the entry's recency, so a hot Gram
+  factorisation is never evicted just because it was built first.
+* :class:`SharedArtifactStore` — an optional cross-process tier backed by a
+  ``multiprocessing.Manager`` (pickled values under a manager lock), which
+  the :class:`~repro.service.executors.ProcessExecutor` wires into every
+  worker's local cache so one shard's factorisation serves all workers.
+  Artifacts that cannot pickle (scipy SuperLU factorisations inside sparse
+  normal-equations artifacts) are skipped and stay process-local.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
+from collections import OrderedDict
 from typing import Callable, Hashable, Mapping, TypeVar
 
 from ..matrix import LinearQueryMatrix
@@ -24,44 +38,130 @@ T = TypeVar("T")
 _MISS = object()
 
 
+class SharedArtifactStore:
+    """Cross-process artifact tier: a manager-backed LRU dict of pickles.
+
+    Values are stored pickled (manager proxies cannot share live objects);
+    ``get`` unpickles into the caller's process, so each process keeps its
+    own live copy in its local :class:`ArtifactCache` and only pays the
+    transfer on its first miss.  ``state()`` returns the picklable proxy
+    bundle a worker initializer rebuilds the store from
+    (:meth:`from_state`); the manager process is owned by whoever
+    constructed the store without one.
+    """
+
+    def __init__(self, max_entries: int = 256, _state: tuple | None = None):
+        if _state is not None:
+            self._entries, self._order, self._stats, self._lock, self.max_entries = _state
+            self._manager = None
+            return
+        import multiprocessing as mp
+
+        self._manager = mp.Manager()
+        self._entries = self._manager.dict()
+        self._order = self._manager.list()
+        self._stats = self._manager.dict(hits=0, misses=0, evictions=0, unpicklable=0)
+        self._lock = self._manager.Lock()
+        self.max_entries = int(max_entries)
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "SharedArtifactStore":
+        """Rebuild a handle to an existing store from :meth:`state`."""
+        return cls(_state=tuple(state))
+
+    def state(self) -> tuple:
+        """Picklable handle bundle for worker-process initializers."""
+        return (self._entries, self._order, self._stats, self._lock, self.max_entries)
+
+    def get(self, key: Hashable):
+        """The artifact stored under ``key`` (unpickled), or ``_MISS``."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self._stats["misses"] += 1
+                return _MISS
+            self._stats["hits"] += 1
+            self._order.remove(key)
+            self._order.append(key)
+        return pickle.loads(payload)
+
+    def put(self, key: Hashable, artifact) -> bool:
+        """Publish an artifact; returns False when it cannot pickle."""
+        try:
+            payload = pickle.dumps(artifact)
+        except Exception:
+            with self._lock:
+                self._stats["unpicklable"] += 1
+            return False
+        with self._lock:
+            if key not in self._entries:
+                self._order.append(key)
+                self._entries[key] = payload
+                while len(self._order) > self.max_entries:
+                    victim = self._order.pop(0)
+                    del self._entries[victim]
+                    self._stats["evictions"] += 1
+        return True
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            report = dict(self._stats)
+            report["entries"] = len(self._entries)
+        return report
+
+    def close(self) -> None:
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+
 class ArtifactCache:
-    """Thread-safe map from hashable keys to data-independent artifacts.
+    """Thread-safe LRU map from hashable keys to data-independent artifacts.
 
     ``bind_metrics`` attaches a :class:`~repro.telemetry.metrics.MetricsRegistry`
     so hit/miss/eviction counts surface as ``cache_hits`` / ``cache_misses`` /
     ``cache_evictions`` counters labelled ``cache=<name>`` (the scheduler binds
-    its registry automatically).
+    its registry automatically).  ``shared`` chains a
+    :class:`SharedArtifactStore` behind local misses: artifacts built anywhere
+    in the tier are installed locally on first use and published on build.
     """
 
     metrics_name = "artifact"
 
-    def __init__(self, max_entries: int | None = None):
-        self._entries: dict[Hashable, object] = {}
+    def __init__(self, max_entries: int | None = None, shared: SharedArtifactStore | None = None):
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
         self.max_entries = max_entries
+        self.shared = shared
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: cross-process tier probes resolved there (vs built locally).
+        self.shared_hits = 0
+        self.shared_misses = 0
         self._metrics: MetricsRegistry | None = None
 
     def bind_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Report this cache's counters to ``metrics`` from now on."""
         self._metrics = metrics
 
-    def _count(self, outcome: str) -> None:
-        if self._metrics is not None:
-            self._metrics.counter(f"cache_{outcome}", cache=self.metrics_name).inc()
+    def _count(self, outcome: str, amount: int = 1) -> None:
+        if self._metrics is not None and amount:
+            self._metrics.counter(f"cache_{outcome}", cache=self.metrics_name).inc(amount)
 
     def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
         """Return the cached artifact for ``key``, building it on a miss.
 
-        The builder runs outside the lock (constructions can be slow and must
-        not serialise unrelated requests); on a build race the first stored
-        artifact wins so every caller sees one canonical object.
+        A hit refreshes the entry's LRU recency.  The builder runs outside
+        the lock (constructions can be slow and must not serialise unrelated
+        requests); on a build race the first stored artifact wins so every
+        caller sees one canonical object.
         """
         with self._lock:
             if key in self._entries:
                 self.hits += 1
+                self._entries.move_to_end(key)
                 artifact = self._entries[key]
             else:
                 self.misses += 1
@@ -70,17 +170,31 @@ class ArtifactCache:
             self._count("hits")
             return artifact  # type: ignore[return-value]
         self._count("misses")
-        artifact = builder()
-        evicted = False
+        built_here = False
+        if self.shared is not None:
+            artifact = self.shared.get(key)
+            if artifact is _MISS:
+                self.shared_misses += 1
+            else:
+                self.shared_hits += 1
+        if artifact is _MISS:
+            artifact = builder()
+            built_here = True
+        evicted = 0
         with self._lock:
             stored = self._entries.setdefault(key, artifact)
-            if self.max_entries is not None and len(self._entries) > self.max_entries:
-                # Drop the oldest insertion (dict preserves insertion order).
-                self._entries.pop(next(iter(self._entries)))
-                self.evictions += 1
-                evicted = True
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    # LRU: drop the least-recently-touched entry, never the
+                    # one just installed (it was moved to the hot end above).
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    evicted += 1
         if evicted:
-            self._count("evictions")
+            self._count("evictions", evicted)
+        if built_here and self.shared is not None and stored is artifact:
+            self.shared.put(key, stored)
         return stored  # type: ignore[return-value]
 
     def workload(
@@ -117,12 +231,16 @@ class ArtifactCache:
     @property
     def stats(self) -> dict:
         with self._lock:
-            return {
+            report = {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
             }
+            if self.shared is not None:
+                report["shared_hits"] = self.shared_hits
+                report["shared_misses"] = self.shared_misses
+            return report
 
     def clear(self) -> None:
         with self._lock:

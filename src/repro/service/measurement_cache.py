@@ -10,11 +10,20 @@ cache entry can always point back at exactly the
 :class:`~repro.private.kernel.MeasurementRecord` rows that paid for it.
 
 Entries are strictly per-session: tenants never see each other's releases.
+
+``max_entries`` bounds the cache LRU-style (a lookup hit refreshes recency),
+so long-lived sessions cannot grow it without bound.  Evicting an entry
+never loses the release itself: on a journal-attached session the ``release``
+record is durable, so a restore replays the evicted answer back into the
+cache byte-identically (and a non-durable session can simply re-run the
+request — same derived seed, same noise, same answer, though it pays the ε
+again).
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -49,9 +58,10 @@ class MeasurementCache:
 
     metrics_name = "measurement"
 
-    def __init__(self):
-        self._entries: dict[tuple, CachedAnswer] = {}
+    def __init__(self, max_entries: int | None = None):
+        self._entries: OrderedDict[tuple, CachedAnswer] = OrderedDict()
         self._lock = threading.Lock()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -74,11 +84,13 @@ class MeasurementCache:
     def lookup(self, session: Session, key: tuple) -> CachedAnswer | None:
         """The cached answer for ``key`` in this session, if any."""
         with self._lock:
-            entry = self._entries.get(self._scoped(session, key))
+            scoped = self._scoped(session, key)
+            entry = self._entries.get(scoped)
             if entry is None:
                 self.misses += 1
             else:
                 self.hits += 1
+                self._entries.move_to_end(scoped)
         self._count("hits" if entry is not None else "misses")
         return entry
 
@@ -91,10 +103,20 @@ class MeasurementCache:
         history_end: int,
     ) -> None:
         """Index a freshly-computed response (cache hits are never re-stored)."""
+        evicted = 0
         with self._lock:
-            self._entries[self._scoped(session, key)] = CachedAnswer(
+            scoped = self._scoped(session, key)
+            self._entries[scoped] = CachedAnswer(
                 _frozen_copy(response), history_start, history_end
             )
+            self._entries.move_to_end(scoped)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    # LRU, never the entry just stored (moved to the hot end).
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    evicted += 1
+        self._count("evictions", evicted)
 
     def replay(self, entry: CachedAnswer, request_id: str) -> QueryResponse:
         """A budget-free copy of a cached response for a new request id."""

@@ -39,6 +39,8 @@ from ..telemetry.clock import DEFAULT_CLOCK, Clock
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "AdmissionGate",
+    "BreakerGate",
     "CircuitBreaker",
     "RetryPolicy",
     "SessionClosedError",
@@ -268,3 +270,82 @@ class CircuitBreaker:
                 }
                 for plan, circuit in self._circuits.items()
             }
+
+
+# ----------------------------------------------------------------------
+# Pipeline gates: the robustness primitives as composable request stages.
+# ----------------------------------------------------------------------
+class AdmissionGate:
+    """Pipeline stage bracketing one request with admission acquire/release.
+
+    Part of the :class:`~repro.service.pipeline.RequestPipeline`; a no-op
+    when the scheduler was built without an
+    :class:`AdmissionController`.  Rejections count into
+    ``service_admission_rejections`` and never touch session state.
+    """
+
+    name = "admission"
+
+    def __init__(self, svc):
+        self.svc = svc
+
+    def run(self, ctx, proceed):
+        admission = self.svc.admission
+        if admission is None:
+            return proceed(ctx)
+        tenant = ctx.session.tenant
+        try:
+            admission.acquire(tenant)
+        except AdmissionError:
+            self.svc.metrics.counter(
+                "service_admission_rejections", tenant=tenant
+            ).inc()
+            raise
+        try:
+            return proceed(ctx)
+        finally:
+            admission.release(tenant)
+
+
+class BreakerGate:
+    """Pipeline stage routing one request through the circuit breaker.
+
+    On :data:`SHED` the request is rewritten to the breaker's fallback plan
+    (the response carries ``info["degraded_from"]``); otherwise the real
+    plan's outcome feeds the circuit — except a racing session close, which
+    says nothing about the plan's health.
+    """
+
+    name = "breaker"
+
+    def __init__(self, svc):
+        self.svc = svc
+
+    def run(self, ctx, proceed):
+        breaker = self.svc.breaker
+        if breaker is None:
+            return proceed(ctx)
+        from dataclasses import replace
+
+        plan_name = ctx.request.plan
+        decision = breaker.admit(plan_name)
+        if decision == SHED:
+            ctx.request = replace(
+                ctx.request, plan=breaker.fallback_plan, plan_params={}
+            )
+            self.svc.metrics.counter(
+                "service_shed_requests", tenant=ctx.session.tenant, plan=plan_name
+            ).inc()
+            response = proceed(ctx)
+            response.info["degraded_from"] = plan_name
+            return response
+        try:
+            response = proceed(ctx)
+        except SessionClosedError:
+            # A close racing the request says nothing about the plan.
+            raise
+        except Exception:
+            breaker.record_failure(plan_name)
+            raise
+        breaker.record_success(plan_name)
+        return response

@@ -1,33 +1,36 @@
 """Plan scheduling: execute query requests against sessions.
 
-The :class:`PlanScheduler` is the service's execution engine.  For each
-request it (under the session's lock):
+The :class:`PlanScheduler` is the service's **execution core**.  It composes
+three pluggable layers:
 
-1. consults the :class:`~repro.service.measurement_cache.MeasurementCache` —
-   an identical already-answered request is replayed budget-free;
-2. builds the workload through the shared
-   :class:`~repro.service.artifact_cache.ArtifactCache`;
-3. instantiates the plan via the registry's parameterised lookup;
-4. reseeds the session kernel with a seed derived deterministically from
-   (session base seed, request id), so every response is reproducible
-   regardless of scheduling order;
-5. runs the plan — passing the shared ``ArtifactCache`` as ``gram_cache`` so
-   plan inference reuses normal-equations factorisations across requests and
-   tenants, keyed by each strategy's canonical ``strategy_key()`` —
-   brackets it with kernel budget snapshots, and returns a
-   :class:`~repro.service.api.QueryResponse` whose ``epsilon_spent`` is the
-   exact root-level ledger delta.
+1. a **session directory** — either a bare
+   :class:`~repro.service.session.SessionManager` or a
+   :class:`~repro.service.sharding.ShardRouter` (consistent-hash sharding;
+   the two are duck-type interchangeable);
+2. the **request pipeline** (:mod:`repro.service.pipeline`) — composable
+   stages (guard → admission → breaker → session lock → journal commit →
+   trace → deadline gate → cache probe → plan run) that carry every request
+   through admission control, the measurement cache, budget accounting,
+   write-ahead journaling and telemetry in a fixed, privacy-correct order;
+3. an **executor backend** (:mod:`repro.service.executors`) — where driving
+   threads run and where plan compute happens: ``inline`` (sequential,
+   deterministic baseline), ``thread`` (persistent driver pool) or
+   ``process`` (plan compute in worker processes whose budget charges and
+   measurement records are *adopted* back into the live session's ledger).
 
-Requests rejected for a workload/domain mismatch are ledgered too: an
-errored zero-spend :class:`SessionEvent` with an empty history span.  (
-Malformed requests that never resolve to a plan or workload — unknown names —
-still raise before anything touches the session ledger.)
+Answers are byte-identical across all backends and shard layouts: every
+request's noise derives solely from
+:func:`~repro.service.pipeline.derive_request_seed` (session base seed,
+request id, query identity) — nothing scheduling-dependent feeds it.
 
-``execute_batch`` fans requests out over a :class:`ThreadPoolExecutor`.
 Requests on the *same* session serialise on its lock (sequential composition
 demands it); requests on different sessions genuinely run in parallel.
+Requests rejected for a workload/domain mismatch are ledgered: an errored
+zero-spend :class:`~repro.service.session.SessionEvent` with an empty
+history span.  (Malformed requests that never resolve to a plan or workload
+— unknown names — still raise before anything touches the session ledger.)
 
-**Robustness.**  The scheduler composes the :mod:`~repro.service.robustness`
+**Robustness.**  The pipeline composes the :mod:`~repro.service.robustness`
 primitives around every request:
 
 * *Durability* — on a journal-attached session, charges/measurements/events
@@ -58,15 +61,16 @@ cache hits — attaches to the request's trace; the trace id is returned on
 :class:`~repro.telemetry.MetricsRegistry` (always on; created internally
 unless injected) aggregates per-tenant request latency and queue-wait
 histograms, outcome counters, cache hit/miss/eviction counters and the
-per-tenant privacy-spend odometer.  Failures re-raise the *original*
-exception with a structured :class:`~repro.service.api.RequestFailure`
-attached (request id, batch slot, trace id, spend), so batch callers keep
-their ``isinstance`` checks and still get the context.
+per-tenant privacy-spend odometer; on a sharded service, outcome counters,
+latency histograms and the spend counter additionally carry a ``shard``
+label.  Failures re-raise the *original* exception with a structured
+:class:`~repro.service.api.RequestFailure` attached (request id, batch slot,
+trace id, spend), so batch callers keep their ``isinstance`` checks and
+still get the context.
 """
 
 from __future__ import annotations
 
-import hashlib
 import math
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -74,48 +78,28 @@ from dataclasses import replace
 from typing import Sequence
 
 from ..durability.faults import FaultInjector, WorkerDeath
-from ..durability.serialize import encode
-from ..durability.snapshot import response_state
-from ..plans.registry import make_plan
-from ..private.exceptions import DeadlineExceededError
 from ..telemetry.metrics import MetricsRegistry
-from ..telemetry.spans import NOOP_SPAN, NULL_TRACER, NullTracer, Tracer, activate
+from ..telemetry.spans import NullTracer, Tracer, NULL_TRACER
 from .api import QueryRequest, QueryResponse, RequestFailure
 from .artifact_cache import ArtifactCache
+from .executors import ExecutorBackend, make_executor
 from .measurement_cache import MeasurementCache
+from .pipeline import (
+    RequestContext,
+    RequestPipeline,
+    _attach_failure,
+    default_stages,
+    derive_request_seed,
+    locked_stages,
+)
 from .robustness import (
-    ALLOW,
-    SHED,
     AdmissionController,
-    AdmissionError,
     CircuitBreaker,
     RetryPolicy,
-    SessionClosedError,
 )
 from .session import Session, SessionEvent, SessionManager
 
-
-def derive_request_seed(
-    base_seed: int, session_id: str, request_id: str, query_material: str = ""
-) -> int:
-    """Deterministic 64-bit seed for one request's noise.
-
-    ``query_material`` mixes the query's identity (the request cache key)
-    into the seed, so a client reusing a request id for a *different* query
-    can never replay the same noise stream across distinct measurements —
-    while the same (session, request id, query) triple always reproduces the
-    same response.
-    """
-    material = f"{base_seed}:{session_id}:{request_id}:{query_material}".encode()
-    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
-
-
-def _attach_failure(exc: BaseException, failure: RequestFailure) -> None:
-    """Best-effort structured context on the original exception object."""
-    try:
-        exc.request_failure = failure  # type: ignore[attr-defined]
-    except AttributeError:  # pragma: no cover - slotted exception classes
-        pass
+__all__ = ["PlanScheduler", "derive_request_seed"]
 
 
 class PlanScheduler:
@@ -132,7 +116,10 @@ class PlanScheduler:
         admission: AdmissionController | None = None,
         breaker: CircuitBreaker | None = None,
         fault_injector: FaultInjector | None = None,
+        executor: str | ExecutorBackend | None = None,
     ):
+        #: the session directory: a SessionManager or a ShardRouter (they
+        #: duck-type the same create/get/close/adopt surface).
         self.manager = manager
         self.measurement_cache = measurement_cache if measurement_cache is not None else MeasurementCache()
         self.artifact_cache = artifact_cache if artifact_cache is not None else ArtifactCache()
@@ -152,6 +139,17 @@ class PlanScheduler:
         self.breaker = breaker
         #: crash-harness seam (``scheduler.worker``); None in production.
         self.fault_injector = fault_injector
+        #: where driving threads and plan compute run ("inline", "thread",
+        #: "process" or an ExecutorBackend instance; default: thread pool).
+        self.executor = make_executor(executor, max_workers=max_workers)
+        #: the outer request chain and the locked interior it hands off to
+        #: (via :meth:`_run_locked`, the documented stall/wrap seam).
+        self._pipeline = RequestPipeline(default_stages(self))
+        self._locked_pipeline = RequestPipeline(locked_stages(self))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the executor backend's pools (idempotent)."""
+        self.executor.shutdown(wait=wait)
 
     def close_session(self, session_id: str, drain: bool = True) -> Session:
         """Close a session and drop its cached releases.
@@ -167,7 +165,7 @@ class PlanScheduler:
         return session
 
     # ------------------------------------------------------------------
-    # Durability.
+    # Durability & sharding.
     # ------------------------------------------------------------------
     def snapshot_session(self, session_id: str) -> dict:
         """Snapshot a session, including its cached releases."""
@@ -185,8 +183,9 @@ class PlanScheduler:
 
         See :func:`repro.durability.restore_session`; the restored session
         is verified against the reconciliation oracle and adopted by the
-        manager, and its released answers land back in the measurement cache
-        for zero-ε replay.
+        manager (a :class:`~repro.service.sharding.ShardRouter` places it on
+        its ring shard), and its released answers land back in the
+        measurement cache for zero-ε replay.
         """
         from ..durability.snapshot import restore_session as _restore_session
 
@@ -199,6 +198,31 @@ class PlanScheduler:
             strict=strict,
         )
         self.metrics.counter("service_recoveries", tenant=session.tenant).inc()
+        return session
+
+    def migrate_session(self, session_id: str, target_shard_id: str, strict: bool = True) -> Session:
+        """Move a session to another shard, carrying its cached releases.
+
+        Requires the scheduler's directory to be a
+        :class:`~repro.service.sharding.ShardRouter`; see its
+        :meth:`~repro.service.sharding.ShardRouter.migrate_session` for the
+        drain/snapshot/restore/reconcile semantics.
+        """
+        router = self.manager
+        if not hasattr(router, "migrate_session"):
+            raise TypeError(
+                "migrate_session requires the scheduler to run on a ShardRouter; "
+                f"got {type(router).__name__}"
+            )
+        session = router.migrate_session(
+            session_id,
+            target_shard_id,
+            measurement_cache=self.measurement_cache,
+            strict=strict,
+        )
+        self.metrics.counter(
+            "service_migrations", tenant=session.tenant, shard=target_shard_id
+        ).inc()
         return session
 
     # ------------------------------------------------------------------
@@ -246,90 +270,27 @@ class PlanScheduler:
     def _execute_guarded(
         self, session: Session, request: QueryRequest, queued_at: float | None
     ) -> QueryResponse:
-        """Admission, circuit breaking and close checks around one request."""
-        if self.fault_injector is not None:
-            self.fault_injector.fire("scheduler.worker", request.request_id)
-        if session.closing:
-            raise SessionClosedError(
-                f"session {session.session_id!r} is closed; "
-                f"request {request.request_id!r} rejected"
-            )
-        if self.admission is not None:
-            try:
-                self.admission.acquire(session.tenant)
-            except AdmissionError:
-                self.metrics.counter(
-                    "service_admission_rejections", tenant=session.tenant
-                ).inc()
-                raise
-        try:
-            plan_name = request.plan
-            decision = ALLOW if self.breaker is None else self.breaker.admit(plan_name)
-            if decision == SHED:
-                fallback = replace(
-                    request, plan=self.breaker.fallback_plan, plan_params={}
-                )
-                self.metrics.counter(
-                    "service_shed_requests", tenant=session.tenant, plan=plan_name
-                ).inc()
-                response = self._execute_on_session(session, fallback, queued_at)
-                response.info["degraded_from"] = plan_name
-                return response
-            try:
-                response = self._execute_on_session(session, request, queued_at)
-            except SessionClosedError:
-                # A close racing the request says nothing about the plan.
-                raise
-            except Exception:
-                if self.breaker is not None:
-                    self.breaker.record_failure(plan_name)
-                raise
-            if self.breaker is not None:
-                self.breaker.record_success(plan_name)
-            return response
-        finally:
-            if self.admission is not None:
-                self.admission.release(session.tenant)
+        """One request through the full stage chain (see the module docs)."""
+        return self._pipeline.execute(session, request, queued_at)
 
-    def _execute_on_session(
-        self, session: Session, request: QueryRequest, queued_at: float | None
+    def _run_locked(
+        self,
+        session: Session,
+        request: QueryRequest,
+        queued_at: float | None,
+        root,
     ) -> QueryResponse:
-        with session.lock:
-            # Re-checked under the lock: a drain-close marks the session
-            # closing, then waits for this lock — anything still queued
-            # behind it must reject, not execute against a closed ledger.
-            if session.closing:
-                raise SessionClosedError(
-                    f"session {session.session_id!r} closed while request "
-                    f"{request.request_id!r} was queued"
-                )
-            return self._execute_locked(session, request, queued_at=queued_at)
+        """The locked interior: deadline gate → cache probe → plan run.
 
-    def _execute_locked(
-        self, session: Session, request: QueryRequest, queued_at: float | None = None
-    ) -> QueryResponse:
-        try:
-            tracer = self.tracer
-            if tracer is NULL_TRACER:
-                return self._run_locked(session, request, queued_at, NOOP_SPAN)
-            with activate(tracer), tracer.span(
-                "service.request",
-                request_id=request.request_id,
-                session=session.session_id,
-                tenant=session.tenant,
-                plan=request.plan,
-                workload=request.workload,
-                epsilon=float(request.epsilon),
-            ) as root:
-                response = self._run_locked(session, request, queued_at, root)
-                root.set_attributes(
-                    cached=response.cached, epsilon_spent=float(response.epsilon_spent)
-                )
-                return response
-        finally:
-            # Commit before the response (or exception) leaves the lock: a
-            # crash after this line loses nothing a client ever saw.
-            self._commit_journal(session)
+        Called by the outer pipeline with the session lock held and the
+        request's root span active.  This is the documented seam for tests
+        (and subclasses) that need to stall or wrap plan execution while the
+        lock is held — wrappers must preserve the signature.
+        """
+        ctx = RequestContext(
+            session=session, request=request, queued_at=queued_at, root=root
+        )
+        return self._locked_pipeline.run_ctx(ctx)
 
     def _commit_journal(self, session: Session) -> None:
         journal = session.journal
@@ -353,299 +314,22 @@ class PlanScheduler:
         """Fold one finished (or failed) request into the metrics registry."""
         metrics = self.metrics
         tenant = session.tenant
-        metrics.counter(
-            "service_requests", tenant=tenant, plan=request.plan, outcome=outcome
-        ).inc()
+        shard = session.shard_id
+        request_labels = {"tenant": tenant, "plan": request.plan, "outcome": outcome}
+        if shard is not None:
+            # Shard labels only exist on sharded services: an unsharded
+            # deployment's metric series are byte-identical to PR-1's.
+            request_labels["shard"] = shard
+            metrics.histogram(
+                "shard_request_latency_seconds", shard=shard
+            ).observe(duration)
+        metrics.counter("service_requests", **request_labels).inc()
         metrics.histogram("service_request_latency_seconds", tenant=tenant).observe(duration)
         metrics.histogram("service_request_queue_wait_seconds", tenant=tenant).observe(
             queue_wait
         )
         unit = "rho" if session.kernel.accountant.name == "zcdp" else "epsilon"
-        metrics.record_privacy_spend(tenant, request.plan, spent, unit=unit)
-
-    def _reject_expired(
-        self,
-        session: Session,
-        request: QueryRequest,
-        start: float,
-        queue_wait: float,
-        waited: float,
-        root,
-    ) -> DeadlineExceededError:
-        """Ledger a request that timed out while queued (zero spend)."""
-        snapshot = session.kernel.budget_snapshot()
-        duration = time.perf_counter() - start
-        session.record(
-            SessionEvent(
-                request_id=request.request_id,
-                plan=request.plan,
-                workload=request.workload,
-                epsilon_requested=request.epsilon,
-                epsilon_spent=0.0,
-                cached=False,
-                seed=None,
-                history_start=snapshot.num_measurements,
-                history_end=snapshot.num_measurements,
-                tag=request.tag,
-                error="DeadlineExceededError",
-                duration_seconds=duration,
-                queue_wait_seconds=queue_wait,
-                trace_id=root.trace_id,
-            )
-        )
-        self.metrics.counter(
-            "service_deadline_timeouts", tenant=session.tenant, plan=request.plan
-        ).inc()
-        self._observe(session, request, "timeout", duration, queue_wait, 0.0)
-        exc = DeadlineExceededError(request.deadline_seconds, waited)
-        _attach_failure(
-            exc,
-            RequestFailure(
-                request_id=request.request_id,
-                session_id=session.session_id,
-                plan=request.plan,
-                error_type="DeadlineExceededError",
-                message=str(exc),
-                trace_id=root.trace_id,
-            ),
-        )
-        return exc
-
-    def _run_locked(
-        self,
-        session: Session,
-        request: QueryRequest,
-        queued_at: float | None,
-        root,
-    ) -> QueryResponse:
-        start = time.perf_counter()
-        queue_wait = max(start - queued_at, 0.0) if queued_at is not None else 0.0
-        key = request.cache_key()
-        #: the deadline counts from scheduling — queue wait is latency the
-        #: client experiences too.
-        deadline_anchor = queued_at if queued_at is not None else start
-        if (
-            request.deadline_seconds is not None
-            and start - deadline_anchor > request.deadline_seconds
-        ):
-            raise self._reject_expired(
-                session, request, start, queue_wait, start - deadline_anchor, root
-            )
-
-        if request.reuse:
-            entry = self.measurement_cache.lookup(session, key)
-            if entry is not None:
-                response = self.measurement_cache.replay(entry, request.request_id)
-                # The cached response carries the accounting snapshot of the
-                # request that paid for it; refresh to the session's current
-                # state (a replay spends nothing, but spend may have moved
-                # since the entry was stored).
-                response.accounting = session.accounting_report()
-                response.trace_id = root.trace_id
-                duration = time.perf_counter() - start
-                response.elapsed_seconds = duration
-                session.record(
-                    SessionEvent(
-                        request_id=request.request_id,
-                        plan=request.plan,
-                        workload=request.workload,
-                        epsilon_requested=request.epsilon,
-                        epsilon_spent=0.0,
-                        cached=True,
-                        seed=response.seed,
-                        history_start=entry.history_start,
-                        history_end=entry.history_start,
-                        tag=request.tag,
-                        duration_seconds=duration,
-                        queue_wait_seconds=queue_wait,
-                        trace_id=root.trace_id,
-                    )
-                )
-                self._observe(session, request, "cached", duration, queue_wait, 0.0)
-                return response
-
-        workload_matrix = (
-            self.artifact_cache.workload(request.workload, request.workload_params)
-            if request.workload is not None
-            else None
-        )
-        plan = make_plan(request.plan, request.plan_params)
-        source = session.vector_source()
-        if workload_matrix is not None and workload_matrix.shape[1] != source.domain_size:
-            # Reject before any budget is spent: a mismatched workload can
-            # only produce garbage answers (or crash after the charge).  The
-            # rejection is still ledgered — an errored zero-spend event with
-            # an empty history span — so the audit trail has one entry per
-            # scheduled request, exactly like plans that fail mid-run.
-            snapshot = session.kernel.budget_snapshot()
-            duration = time.perf_counter() - start
-            session.record(
-                SessionEvent(
-                    request_id=request.request_id,
-                    plan=request.plan,
-                    workload=request.workload,
-                    epsilon_requested=request.epsilon,
-                    epsilon_spent=0.0,
-                    cached=False,
-                    seed=None,
-                    history_start=snapshot.num_measurements,
-                    history_end=snapshot.num_measurements,
-                    tag=request.tag,
-                    error="ValueError",
-                    duration_seconds=duration,
-                    queue_wait_seconds=queue_wait,
-                    trace_id=root.trace_id,
-                )
-            )
-            self._observe(session, request, "rejected", duration, queue_wait, 0.0)
-            exc = ValueError(
-                f"workload {request.workload!r} has {workload_matrix.shape[1]} columns "
-                f"but session {session.session_id!r} has a {source.domain_size}-cell domain"
-            )
-            _attach_failure(
-                exc,
-                RequestFailure(
-                    request_id=request.request_id,
-                    session_id=session.session_id,
-                    plan=request.plan,
-                    error_type="ValueError",
-                    message=str(exc),
-                    trace_id=root.trace_id,
-                ),
-            )
-            raise exc
-
-        seed = derive_request_seed(
-            session.base_seed, session.session_id, request.request_id, repr(key)
-        )
-        session.kernel.reseed(seed)
-        kernel = session.kernel
-        before = kernel.budget_snapshot()
-        try:
-            if request.deadline_seconds is not None:
-                kernel.deadline = deadline_anchor + request.deadline_seconds
-                kernel.deadline_started = deadline_anchor
-            # The shared artifact cache rides along so plan inference reuses
-            # data-independent Gram factorisations across requests and
-            # tenants, keyed by each strategy's canonical strategy_key().
-            with self.tracer.span("plan.run", plan=request.plan):
-                result = plan.run(source, request.epsilon, gram_cache=self.artifact_cache)
-            answers = result.answer(workload_matrix) if workload_matrix is not None else None
-            if kernel.deadline is not None:
-                now = time.perf_counter()
-                if now > kernel.deadline:
-                    # Timed out after the last charge: the answer is complete
-                    # but late; it is withheld, and the spend below is the
-                    # request's true (here: full) partial spend.
-                    raise DeadlineExceededError(
-                        request.deadline_seconds, now - deadline_anchor
-                    )
-        except Exception as exc:
-            # A request can fail after spending part (or all) of its budget —
-            # a multi-measurement plan mid-run, or answer post-processing;
-            # the ledger must still claim that spend (and its history rows)
-            # or the audit would never reconcile again.
-            after = kernel.budget_snapshot()
-            spent = after.consumed - before.consumed
-            duration = time.perf_counter() - start
-            session.record(
-                SessionEvent(
-                    request_id=request.request_id,
-                    plan=request.plan,
-                    workload=request.workload,
-                    epsilon_requested=request.epsilon,
-                    epsilon_spent=spent,
-                    cached=False,
-                    seed=seed,
-                    history_start=before.num_measurements,
-                    history_end=after.num_measurements,
-                    tag=request.tag,
-                    error=type(exc).__name__,
-                    duration_seconds=duration,
-                    queue_wait_seconds=queue_wait,
-                    trace_id=root.trace_id,
-                )
-            )
-            if isinstance(exc, DeadlineExceededError):
-                self.metrics.counter(
-                    "service_deadline_timeouts",
-                    tenant=session.tenant,
-                    plan=request.plan,
-                ).inc()
-                outcome = "timeout"
-            else:
-                outcome = "error"
-            self._observe(session, request, outcome, duration, queue_wait, spent)
-            _attach_failure(
-                exc,
-                RequestFailure(
-                    request_id=request.request_id,
-                    session_id=session.session_id,
-                    plan=request.plan,
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    trace_id=root.trace_id,
-                    epsilon_spent=spent,
-                ),
-            )
-            raise
-        finally:
-            kernel.deadline = None
-            kernel.deadline_started = None
-        after = kernel.budget_snapshot()
-        duration = time.perf_counter() - start
-        response = QueryResponse(
-            request_id=request.request_id,
-            session_id=session.session_id,
-            plan=request.plan,
-            epsilon_requested=request.epsilon,
-            epsilon_spent=after.consumed - before.consumed,
-            x_hat=result.x_hat,
-            answers=answers,
-            cached=False,
-            seed=seed,
-            info=dict(result.info),
-            elapsed_seconds=duration,
-            accounting=session.accounting_report(),
-            trace_id=root.trace_id,
-        )
-        self.measurement_cache.store(
-            session, key, response, before.num_measurements, after.num_measurements
-        )
-        if session.journal is not None:
-            # Journal the release before the event that claims it: restores
-            # replay the answer byte-identical into the cache, so an
-            # identical post-crash request costs zero additional ε.
-            session.journal.append(
-                {
-                    "kind": "release",
-                    "key": encode(key),
-                    "response": encode(response_state(response)),
-                    "history_start": before.num_measurements,
-                    "history_end": after.num_measurements,
-                }
-            )
-        session.record(
-            SessionEvent(
-                request_id=request.request_id,
-                plan=request.plan,
-                workload=request.workload,
-                epsilon_requested=request.epsilon,
-                epsilon_spent=response.epsilon_spent,
-                cached=False,
-                seed=seed,
-                history_start=before.num_measurements,
-                history_end=after.num_measurements,
-                tag=request.tag,
-                duration_seconds=duration,
-                queue_wait_seconds=queue_wait,
-                trace_id=root.trace_id,
-            )
-        )
-        self._observe(
-            session, request, "ok", duration, queue_wait, response.epsilon_spent
-        )
-        return response
+        metrics.record_privacy_spend(tenant, request.plan, spent, unit=unit, shard=shard)
 
     # ------------------------------------------------------------------
     # Batched path.
@@ -658,13 +342,16 @@ class PlanScheduler:
     ) -> list[QueryResponse | Exception]:
         """Answer a batch of requests concurrently, preserving input order.
 
-        Request ids (hence noise seeds) are assigned in submission order
-        *before* dispatch, so batch results are reproducible no matter how
-        the pool interleaves execution.  (Exception: two *identical*
-        ``reuse=True`` requests in one batch race for who computes and who
-        replays, so which request id's seed produced the shared answer is
-        scheduling-dependent — the answer itself is released only once
-        either way.)
+        Driving fans out over the scheduler's executor backend; passing an
+        explicit ``max_workers`` instead runs the batch on an ephemeral
+        thread pool of that size (PR-1's semantics, still the right tool for
+        a one-off differently-sized burst).  Request ids (hence noise seeds)
+        are assigned in submission order *before* dispatch, so batch results
+        are reproducible no matter how the pool — or backend — interleaves
+        execution.  (Exception: two *identical* ``reuse=True`` requests in
+        one batch race for who computes and who replays, so which request
+        id's seed produced the shared answer is scheduling-dependent — the
+        answer itself is released only once either way.)
 
         Every request runs to completion (and is ledgered) regardless of the
         others.  With ``return_exceptions=True`` a failed request's slot
@@ -691,11 +378,16 @@ class PlanScheduler:
             assigned.append(request)
         if not assigned:
             return []
-        workers = max_workers if max_workers is not None else self.max_workers
-        with ThreadPoolExecutor(max_workers=max(workers, 1)) as pool:
+        pool = (
+            ThreadPoolExecutor(max_workers=max(max_workers, 1))
+            if max_workers is not None
+            else None
+        )
+        submit = pool.submit if pool is not None else self.executor.submit
+        try:
             queued_at = time.perf_counter()
             futures = [
-                pool.submit(self._execute_assigned, request, queued_at)
+                submit(self._execute_assigned, request, queued_at)
                 for request in assigned
             ]
             results: list[QueryResponse | Exception] = []
@@ -732,6 +424,9 @@ class PlanScheduler:
                             failure = replace(failure, epsilon_spent=spent)
                     _attach_failure(exc, failure)
                     results.append(exc)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         if not return_exceptions:
             for outcome in results:
                 if isinstance(outcome, BaseException):

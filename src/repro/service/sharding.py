@@ -1,0 +1,366 @@
+"""Consistent-hash session sharding: many session managers behind one router.
+
+A :class:`Shard` is one :class:`~repro.service.session.SessionManager` with a
+name; the :class:`ShardRouter` hashes session ids onto shards with a
+consistent-hash ring (SHA-256 points, :data:`VIRTUAL_NODES` virtual nodes per
+shard so load spreads evenly) and exposes the *same* duck-typed API as a bare
+``SessionManager`` — ``create_session`` / ``get`` / ``close`` / ``adopt`` /
+``sessions`` — so a :class:`~repro.service.scheduler.PlanScheduler` accepts
+either interchangeably.
+
+Two invariants the router maintains:
+
+* **Stability** — the ring only *places* a session once, at creation (or
+  adoption); thereafter the authoritative ``owners()`` directory answers
+  every lookup.  A session is therefore never observed on two shards, even
+  while the ring changes underneath it: ``add_shard`` alters future
+  placements immediately but moves nothing by itself — it returns the
+  sessions whose ring placement changed as a *rebalance plan* for
+  :meth:`migrate_session` to apply.
+* **Exact hand-off** — :meth:`migrate_session` moves a live session by
+  drain-closing it on the source shard (in-flight requests finish and are
+  ledgered), snapshotting it — released answers included — and restoring it
+  onto the target shard through the same
+  :func:`~repro.durability.snapshot.restore_session` path a crash recovery
+  uses, reconciliation oracle and all.  The session keeps its id, its budget
+  ledger, its base seed (hence every future derived request seed) and its
+  attached journal; only ``shard_id`` changes.
+
+Sharding here is an in-process scale-out structure (the shards share one
+address space); it is the routing/ownership layer a multi-node deployment
+would keep, with the ring's hash points serving as the node directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+from bisect import bisect_right
+
+from .session import Session, SessionManager
+
+__all__ = ["Shard", "ShardRouter", "VIRTUAL_NODES"]
+
+#: ring points per shard; 64 keeps the max/min shard-load ratio tight for
+#: realistic session counts without making ring rebuilds noticeable.
+VIRTUAL_NODES = 64
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for ``label``."""
+    return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+class Shard:
+    """One named slice of the service: a session manager plus its identity."""
+
+    def __init__(self, shard_id: str):
+        self.shard_id = shard_id
+        self.manager = SessionManager()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shard({self.shard_id!r}, sessions={len(self.manager)})"
+
+
+class ShardRouter:
+    """Routes sessions onto shards; duck-types the ``SessionManager`` API."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        shard_ids: list[str] | None = None,
+        virtual_nodes: int = VIRTUAL_NODES,
+    ):
+        if shard_ids is None:
+            shard_ids = [f"shard-{i}" for i in range(num_shards)]
+        if not shard_ids:
+            raise ValueError("a ShardRouter needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("shard ids must be unique")
+        self.virtual_nodes = max(int(virtual_nodes), 1)
+        self._lock = threading.RLock()
+        self._shards: dict[str, Shard] = {}
+        #: sorted (point, shard_id) ring; rebuilt on add/remove.
+        self._ring: list[tuple[int, str]] = []
+        #: authoritative session directory — once a session is placed, only
+        #: an explicit migrate/close moves it, never a ring change.
+        self._owners: dict[str, str] = {}
+        #: router-level id counter: session ids must be unique across the
+        #: *whole* service, not per shard.
+        self._counter = itertools.count(1)
+        for shard_id in shard_ids:
+            self._install(Shard(shard_id))
+
+    # ------------------------------------------------------------------
+    # Ring.
+    # ------------------------------------------------------------------
+    def _install(self, shard: Shard) -> None:
+        self._shards[shard.shard_id] = shard
+        for i in range(self.virtual_nodes):
+            self._ring.append((_point(f"{shard.shard_id}#vn{i}"), shard.shard_id))
+        self._ring.sort()
+
+    def _uninstall(self, shard_id: str) -> None:
+        self._ring = [(p, s) for (p, s) in self._ring if s != shard_id]
+
+    def _place(self, session_id: str) -> str:
+        """Ring placement of ``session_id``: first virtual node clockwise."""
+        index = bisect_right(self._ring, (_point(session_id), ""))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def shard(self, shard_id: str) -> Shard:
+        with self._lock:
+            if shard_id not in self._shards:
+                raise KeyError(f"unknown shard {shard_id!r}")
+            return self._shards[shard_id]
+
+    @property
+    def shards(self) -> list[Shard]:
+        with self._lock:
+            return list(self._shards.values())
+
+    def shard_for(self, session_id: str) -> str:
+        """The shard a session lives on (directory first, ring for new ids)."""
+        with self._lock:
+            owner = self._owners.get(session_id)
+            return owner if owner is not None else self._place(session_id)
+
+    def owners(self) -> dict[str, str]:
+        """The authoritative session → shard directory (a copy)."""
+        with self._lock:
+            return dict(self._owners)
+
+    # ------------------------------------------------------------------
+    # SessionManager duck-type.
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        tenant: str,
+        table,
+        epsilon_total: float,
+        seed: int | None = None,
+        session_id: str | None = None,
+        accountant=None,
+        delta: float = 1e-6,
+        journal=None,
+    ) -> Session:
+        """Open a session on the shard its id hashes to."""
+        with self._lock:
+            if session_id is None:
+                session_id = f"{tenant}-s{next(self._counter)}"
+            if session_id in self._owners:
+                raise ValueError(f"session {session_id!r} already exists")
+            shard = self._shards[self._place(session_id)]
+            session = shard.manager.create_session(
+                tenant,
+                table,
+                epsilon_total,
+                seed=seed,
+                session_id=session_id,
+                accountant=accountant,
+                delta=delta,
+                journal=journal,
+            )
+            session.shard_id = shard.shard_id
+            self._owners[session_id] = shard.shard_id
+            return session
+
+    def adopt(self, session: Session) -> Session:
+        """Index an externally-built session (the restore path)."""
+        with self._lock:
+            if session.session_id in self._owners:
+                raise ValueError(
+                    f"session {session.session_id!r} already exists; close it "
+                    "before adopting a restored replacement"
+                )
+            shard = self._shards[self._place(session.session_id)]
+            shard.manager.adopt(session)
+            session.shard_id = shard.shard_id
+            self._owners[session.session_id] = shard.shard_id
+            return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            owner = self._owners.get(session_id)
+            if owner is None:
+                raise KeyError(f"unknown session {session_id!r}")
+            return self._shards[owner].manager.get(session_id)
+
+    def close(
+        self, session_id: str, drain: bool = True, timeout: float | None = None
+    ) -> Session:
+        with self._lock:
+            owner = self._owners.get(session_id)
+            if owner is None:
+                raise KeyError(f"unknown session {session_id!r}")
+            manager = self._shards[owner].manager
+        # The drain wait happens outside the router lock: it only blocks on
+        # the session's own lock, and other sessions must keep routing.
+        session = manager.close(session_id, drain=drain, timeout=timeout)
+        with self._lock:
+            self._owners.pop(session_id, None)
+        return session
+
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            shards = list(self._shards.values())
+        out: list[Session] = []
+        for shard in shards:
+            out.extend(shard.manager.sessions())
+        return out
+
+    def for_tenant(self, tenant: str) -> list[Session]:
+        return [session for session in self.sessions() if session.tenant == tenant]
+
+    def __len__(self) -> int:
+        return sum(len(shard.manager) for shard in self.shards)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._owners
+
+    # ------------------------------------------------------------------
+    # Topology changes.
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: str) -> list[tuple[str, str, str]]:
+        """Add a shard; existing sessions stay put (stability invariant).
+
+        Returns the rebalance plan: ``(session_id, current_shard,
+        target_shard)`` for every live session whose *ring* placement moved
+        to the new shard.  Apply it (or any subset) with
+        :meth:`migrate_session`; until then the directory keeps every
+        session exactly where it was.
+        """
+        with self._lock:
+            if shard_id in self._shards:
+                raise ValueError(f"shard {shard_id!r} already exists")
+            self._install(Shard(shard_id))
+            return self.rebalance_plan()
+
+    def remove_shard(
+        self, shard_id: str, measurement_cache=None
+    ) -> list[tuple[str, str, str]]:
+        """Remove a shard, migrating every session it owns off it first.
+
+        The shard's virtual nodes leave the ring, each of its sessions is
+        :meth:`migrate_session`-ed to its new ring placement (drain, snapshot,
+        restore, reconcile — pass ``measurement_cache`` to carry released
+        answers), and the empty shard is dropped.  Returns the moves made.
+        """
+        with self._lock:
+            if shard_id not in self._shards:
+                raise KeyError(f"unknown shard {shard_id!r}")
+            if len(self._shards) == 1:
+                raise ValueError("cannot remove the last shard")
+            self._uninstall(shard_id)
+            stranded = [
+                sid for sid, owner in self._owners.items() if owner == shard_id
+            ]
+            moves = []
+            for session_id in stranded:
+                target = self._place(session_id)
+                self.migrate_session(
+                    session_id, target, measurement_cache=measurement_cache
+                )
+                moves.append((session_id, shard_id, target))
+            del self._shards[shard_id]
+            return moves
+
+    def rebalance_plan(self) -> list[tuple[str, str, str]]:
+        """Sessions whose ring placement differs from their current owner."""
+        with self._lock:
+            return [
+                (session_id, owner, self._place(session_id))
+                for session_id, owner in self._owners.items()
+                if self._place(session_id) != owner
+            ]
+
+    # ------------------------------------------------------------------
+    # Migration.
+    # ------------------------------------------------------------------
+    def migrate_session(
+        self,
+        session_id: str,
+        target_shard_id: str,
+        measurement_cache=None,
+        strict: bool = True,
+    ) -> Session:
+        """Move one live session to ``target_shard_id``, exactly.
+
+        Built on the durability layer: drain-close on the source shard (all
+        in-flight requests finish and are ledgered), snapshot — including
+        released answers when ``measurement_cache`` is passed — then restore
+        onto the target shard via
+        :func:`~repro.durability.snapshot.restore_session`, which re-verifies
+        the reconciliation oracle (``strict``).  The session keeps its id,
+        ledger, events, request counter and base seed, so derived request
+        seeds — and therefore answers — are unchanged by the move; an
+        attached journal is carried over and keeps appending seamlessly.
+
+        Holds the router lock for the whole hand-off: the directory must
+        never show the session on two shards, and a lookup racing the
+        migration gets the post-move placement.
+        """
+        from ..durability.snapshot import (
+            restore_session,
+            snapshot_session,
+        )
+
+        with self._lock:
+            owner = self._owners.get(session_id)
+            if owner is None:
+                raise KeyError(f"unknown session {session_id!r}")
+            if target_shard_id not in self._shards:
+                raise KeyError(f"unknown shard {target_shard_id!r}")
+            source = self._shards[owner]
+            target = self._shards[target_shard_id]
+            if owner == target_shard_id:
+                return source.manager.get(session_id)
+            # Drain: stop admitting, wait out in-flight work, final ledger.
+            session = source.manager.close(session_id, drain=True)
+            snapshot = snapshot_session(session, measurement_cache=measurement_cache)
+            journal = session.journal
+            if journal is not None:
+                session.detach_journal()
+            if measurement_cache is not None:
+                # The old Session object's cache scope dies with it; the
+                # restore below re-stores every exported answer under the
+                # new session's scope.
+                measurement_cache.invalidate_session(session)
+            restored = restore_session(
+                session.table,
+                snapshot=snapshot,
+                journal=journal,
+                manager=None,
+                measurement_cache=measurement_cache,
+                strict=strict,
+            )
+            target.manager.adopt(restored)
+            restored.shard_id = target_shard_id
+            self._owners[session_id] = target_shard_id
+            return restored
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Per-shard session counts plus directory size."""
+        with self._lock:
+            return {
+                "shards": {
+                    shard_id: len(shard.manager)
+                    for shard_id, shard in self._shards.items()
+                },
+                "sessions": len(self._owners),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"ShardRouter(shards={list(self._shards)}, "
+                f"sessions={len(self._owners)})"
+            )

@@ -227,12 +227,16 @@ class MetricsRegistry:
     # Privacy-spend odometer.
     # ------------------------------------------------------------------
     def record_privacy_spend(
-        self, tenant: str, plan: str, spent: float, unit: str = "epsilon"
+        self, tenant: str, plan: str, spent: float, unit: str = "epsilon",
+        shard: str | None = None,
     ) -> None:
         """Add one request's budget delta (native units) to the odometer.
 
         Zero-spend requests (cache hits, rejected requests) still tick the
         request count so hit rates are readable next to the burn figures.
+        ``shard`` additionally feeds a shard-labelled spend counter on a
+        sharded service, so operators can see which shard is burning which
+        tenant's budget; unsharded services emit no shard series at all.
         """
         now = self._clock()
         with self._lock:
@@ -244,6 +248,10 @@ class MetricsRegistry:
             if entry.first_time is None:
                 entry.first_time = now
             entry.last_time = now
+        if shard is not None:
+            self.counter(
+                "privacy_spend_shard", tenant=tenant, shard=shard, unit=unit
+            ).inc(max(float(spent), 0.0))
 
     def privacy_odometer(self) -> dict:
         """Per-tenant spend view: totals, per-plan breakdown, burn rates."""

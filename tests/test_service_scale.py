@@ -1,0 +1,448 @@
+"""Execution-core tests: executor backends, sharding, shared cache tiers.
+
+The invariants of the scale-out layer:
+
+* **backend transparency** — answers (payloads, seeds, spends) are
+  byte-identical across the inline, thread and process backends, because
+  noise seeds derive only from (base seed, request id, query identity);
+* **exact adoption** — plan compute in a worker process charges the live
+  session's ledger exactly (reconciliation holds), and remote failures
+  surface as the original exception types;
+* **routing stability** — a session is never observed on two shards: the
+  directory answers every lookup, and ring changes move nothing until an
+  explicit migration, which itself reconciles exactly;
+* **bounded caches** — both caches are LRU with touch-on-hit and eviction
+  counters, and evicting a released answer never loses it: the journal
+  replays it at zero additional ε after a restore.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, Relation, Schema
+from repro.durability import PrivacyJournal
+from repro.private import BudgetExceededError
+from repro.service import (
+    ArtifactCache,
+    InlineExecutor,
+    MeasurementCache,
+    PlanScheduler,
+    ProcessExecutor,
+    QueryRequest,
+    QueryResponse,
+    SessionClosedError,
+    SessionManager,
+    SharedArtifactStore,
+    ShardRouter,
+    ThreadExecutor,
+    derive_request_seed,
+    make_executor,
+    reconcile,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+N = 64
+
+
+@pytest.fixture
+def relation():
+    rng = np.random.default_rng(0)
+    schema = Schema.build([Attribute("v", N)])
+    return Relation.from_histogram(schema, rng.integers(0, 50, size=N).astype(float))
+
+
+@pytest.fixture(scope="module")
+def process_executor():
+    """One process pool for the whole module — worker start-up is the cost."""
+    executor = ProcessExecutor(max_workers=2)
+    yield executor
+    executor.shutdown()
+
+
+def _requests(session_id: str) -> list[QueryRequest]:
+    return [
+        QueryRequest(
+            session_id,
+            plan="Identity",
+            epsilon=0.1,
+            workload="prefix",
+            workload_params={"n": N},
+        ),
+        QueryRequest(session_id, plan="Identity", epsilon=0.2, reuse=False),
+        QueryRequest(
+            session_id,
+            plan="Identity",
+            epsilon=0.05,
+            workload="all_range",
+            workload_params={"n": N},
+        ),
+    ]
+
+
+def _run_backend(relation, executor) -> tuple[list[QueryResponse], object]:
+    manager = SessionManager()
+    scheduler = PlanScheduler(manager, executor=executor)
+    session = manager.create_session(
+        "acme", relation, 10.0, seed=7, session_id="acme-s1"
+    )
+    responses = scheduler.execute_batch(_requests("acme-s1"))
+    if not isinstance(executor, ProcessExecutor):
+        scheduler.shutdown()
+    return responses, session
+
+
+class TestExecutorBackends:
+    def test_make_executor_resolution(self):
+        assert isinstance(make_executor(None), ThreadExecutor)
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("inline"), InlineExecutor)
+        inline = InlineExecutor()
+        assert make_executor(inline) is inline
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("bogus")
+
+    def test_answers_byte_identical_across_backends(self, relation, process_executor):
+        base, inline_session = _run_backend(relation, "inline")
+        threaded, _ = _run_backend(relation, "thread")
+        processed, process_session = _run_backend(relation, process_executor)
+        for other in (threaded, processed):
+            for expected, got in zip(base, other):
+                assert np.array_equal(expected.payload, got.payload)
+                assert np.array_equal(expected.x_hat, got.x_hat)
+                assert got.seed == expected.seed
+                assert got.epsilon_spent == expected.epsilon_spent
+        assert process_session.budget_consumed() == inline_session.budget_consumed()
+        assert reconcile(inline_session)["exact"]
+        assert reconcile(process_session)["exact"]
+
+    def test_process_backend_adopts_into_journaled_ledger(
+        self, relation, process_executor
+    ):
+        journal = PrivacyJournal(None, fsync="never")
+        manager = SessionManager()
+        scheduler = PlanScheduler(manager, executor=process_executor)
+        session = manager.create_session(
+            "acme", relation, 4.0, seed=3, journal=journal
+        )
+        response = scheduler.execute(
+            QueryRequest(session.session_id, plan="Identity", epsilon=0.5)
+        )
+        assert response.epsilon_spent > 0
+        assert session.budget_consumed() == response.epsilon_spent
+        # The worker's charges were adopted through the normal charge path,
+        # so the write-ahead journal saw them before the ledger moved.
+        charges = [r for r in journal.records() if r.get("kind") == "charge"]
+        assert charges
+        assert reconcile(session)["exact"]
+
+    def test_process_backend_propagates_original_exception(
+        self, relation, process_executor
+    ):
+        manager = SessionManager()
+        scheduler = PlanScheduler(manager, executor=process_executor)
+        session = manager.create_session("acme", relation, 0.1, seed=3)
+        with pytest.raises(BudgetExceededError):
+            scheduler.execute(
+                QueryRequest(session.session_id, plan="Identity", epsilon=0.5)
+            )
+        assert session.events[-1].error == "BudgetExceededError"
+        assert reconcile(session)["exact"]
+
+    def test_seed_derivation_is_scheduling_independent(self):
+        seed = derive_request_seed(7, "acme-s1", "acme-s1-r1", "('query',)")
+        assert seed == derive_request_seed(7, "acme-s1", "acme-s1-r1", "('query',)")
+        assert seed != derive_request_seed(7, "acme-s1", "acme-s1-r2", "('query',)")
+        assert seed != derive_request_seed(8, "acme-s1", "acme-s1-r1", "('query',)")
+
+
+class TestArtifactCacheLRU:
+    def test_touch_on_hit_evicts_least_recent(self):
+        metrics = MetricsRegistry()
+        cache = ArtifactCache(max_entries=2)
+        cache.bind_metrics(metrics)
+        built = []
+
+        def builder(tag):
+            def build():
+                built.append(tag)
+                return tag
+
+            return build
+
+        cache.get_or_build("a", builder("a"))
+        cache.get_or_build("b", builder("b"))
+        cache.get_or_build("a", builder("a"))  # touch: "a" is now most recent
+        cache.get_or_build("c", builder("c"))  # evicts "b", not "a"
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert built == ["a", "b", "c"]
+        stats = cache.stats
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 1
+        assert metrics.counter("cache_evictions", cache="artifact").value == 1.0
+        # The evicted artifact rebuilds on demand and re-enters the cache.
+        cache.get_or_build("b", builder("b"))
+        assert built == ["a", "b", "c", "b"]
+        assert "a" not in cache  # "a" was then the least recently used
+
+    def test_shared_store_serves_second_cache(self):
+        store = SharedArtifactStore(max_entries=8)
+        try:
+            first = ArtifactCache(shared=store)
+            second = ArtifactCache(shared=store)
+            built = []
+
+            def build():
+                built.append(1)
+                return np.arange(4.0)
+
+            a = first.get_or_build("gram", build)
+            b = second.get_or_build("gram", build)
+            assert np.array_equal(a, b)
+            assert built == [1]  # the second cache hit the shared tier
+            assert second.stats["shared_hits"] == 1
+        finally:
+            store.close()
+
+
+class TestMeasurementCacheBound:
+    def test_eviction_counters_and_bound(self, relation):
+        metrics = MetricsRegistry()
+        cache = MeasurementCache(max_entries=2)
+        manager = SessionManager()
+        scheduler = PlanScheduler(
+            manager, measurement_cache=cache, metrics=metrics, executor="inline"
+        )
+        session = manager.create_session("acme", relation, 10.0, seed=5)
+        for epsilon in (0.1, 0.2, 0.3):
+            scheduler.execute(
+                QueryRequest(session.session_id, plan="Identity", epsilon=epsilon)
+            )
+        assert len(cache) == 2
+        assert cache.stats["evictions"] == 1
+        assert metrics.counter("cache_evictions", cache="measurement").value == 1.0
+        # The survivors still replay at zero ε; the evicted answer is gone
+        # from the cache (the journal test below shows it is not *lost*).
+        replay = scheduler.execute(
+            QueryRequest(session.session_id, plan="Identity", epsilon=0.3)
+        )
+        assert replay.cached and replay.epsilon_spent == 0.0
+
+    def test_evicted_release_replays_from_journal(self, relation, tmp_path):
+        path = tmp_path / "session.wal"
+        manager = SessionManager()
+        scheduler = PlanScheduler(
+            manager,
+            measurement_cache=MeasurementCache(max_entries=1),
+            executor="inline",
+        )
+        session = manager.create_session(
+            "acme", relation, 10.0, seed=5, journal=PrivacyJournal(path)
+        )
+        first = scheduler.execute(
+            QueryRequest(session.session_id, plan="Identity", epsilon=0.1)
+        )
+        # The second release evicts the first from the bounded cache.
+        scheduler.execute(
+            QueryRequest(session.session_id, plan="Identity", epsilon=0.2)
+        )
+        session.journal.close()
+
+        fresh = PlanScheduler(SessionManager(), executor="inline")
+        restored = fresh.restore_session(relation, journal=PrivacyJournal(path))
+        replayed = fresh.execute(
+            QueryRequest(restored.session_id, plan="Identity", epsilon=0.1)
+        )
+        assert replayed.cached and replayed.epsilon_spent == 0.0
+        assert np.array_equal(replayed.x_hat, first.x_hat)
+        assert reconcile(restored)["exact"]
+
+
+class TestDrainCloseRace:
+    def test_drain_close_races_execute_batch(self, relation):
+        manager = SessionManager()
+        scheduler = PlanScheduler(manager, max_workers=2, executor="thread")
+        session = manager.create_session("acme", relation, 10.0, seed=1)
+        entered, release = threading.Event(), threading.Event()
+        original = scheduler._run_locked
+
+        def slow_run(session_, request, queued_at, root):
+            if not entered.is_set():
+                entered.set()
+                assert release.wait(timeout=10)
+            return original(session_, request, queued_at, root)
+
+        scheduler._run_locked = slow_run
+        requests = [
+            QueryRequest(session.session_id, plan="Identity", epsilon=0.1),
+            QueryRequest(session.session_id, plan="Identity", epsilon=0.2),
+        ]
+        results: list = []
+        batcher = threading.Thread(
+            target=lambda: results.extend(
+                scheduler.execute_batch(requests, return_exceptions=True)
+            )
+        )
+        batcher.start()
+        assert entered.wait(timeout=10)
+        closer = threading.Thread(
+            target=lambda: scheduler.close_session(session.session_id, drain=True)
+        )
+        closer.start()
+        deadline = time.monotonic() + 10
+        while not session.closing and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert session.closing
+        assert not session.closed  # drain waits for the in-flight request
+        release.set()
+        batcher.join(timeout=10)
+        closer.join(timeout=10)
+        assert session.closed
+        scheduler.shutdown()
+
+        # The in-flight request finished and was ledgered; the queued one
+        # was rejected at the lock with a SessionClosedError.
+        outcomes = {type(result).__name__ for result in results}
+        assert "QueryResponse" in outcomes
+        assert "SessionClosedError" in outcomes
+        response = next(r for r in results if isinstance(r, QueryResponse))
+        assert response.epsilon_spent > 0
+        rejected = next(r for r in results if isinstance(r, SessionClosedError))
+        assert rejected.request_failure.error_type == "SessionClosedError"
+        assert reconcile(session)["exact"]
+        assert session.budget_consumed() == response.epsilon_spent
+
+
+class TestSharding:
+    def test_routing_is_stable_across_requests_and_ring_changes(self, relation):
+        router = ShardRouter(num_shards=4)
+        scheduler = PlanScheduler(router, executor="inline")
+        sessions = [
+            router.create_session("acme", relation, 10.0, seed=i) for i in range(12)
+        ]
+        owners = router.owners()
+        assert len({shard.shard_id for shard in router.shards}) == 4
+        for _ in range(2):  # repeated requests never move a session
+            for session in sessions:
+                response = scheduler.execute(
+                    QueryRequest(session.session_id, plan="Identity", epsilon=0.01)
+                )
+                assert response.shard_id == owners[session.session_id]
+                assert session.events[-1].shard_id == owners[session.session_id]
+        # A new shard changes future placements but moves nothing by itself.
+        plan = router.add_shard("shard-new")
+        assert router.owners() == owners
+        for session_id, current, target in plan:
+            assert owners[session_id] == current
+            assert target == "shard-new"
+        for session in sessions:
+            assert router.shard_for(session.session_id) == owners[session.session_id]
+        scheduler.shutdown()
+
+    def test_migrate_session_round_trip_reconciles_exactly(self, relation):
+        router = ShardRouter(num_shards=4)
+        scheduler = PlanScheduler(router, executor="inline")
+        session = router.create_session(
+            "acme", relation, 10.0, seed=7, session_id="acme-s1"
+        )
+        first = scheduler.execute(
+            QueryRequest("acme-s1", plan="Identity", epsilon=0.1)
+        )
+        before_budget = session.budget_consumed()
+        target = next(
+            shard.shard_id
+            for shard in router.shards
+            if shard.shard_id != session.shard_id
+        )
+        moved = scheduler.migrate_session("acme-s1", target)
+        assert moved.shard_id == target
+        assert router.owners()["acme-s1"] == target
+        assert moved.budget_consumed() == before_budget
+        assert reconcile(moved)["exact"]
+        assert (
+            scheduler.metrics.counter(
+                "service_migrations", tenant="acme", shard=target
+            ).value
+            == 1.0
+        )
+        # Released answers crossed with the session: zero-ε replay.
+        replay = scheduler.execute(
+            QueryRequest("acme-s1", plan="Identity", epsilon=0.1)
+        )
+        assert replay.cached and replay.epsilon_spent == 0.0
+        assert np.array_equal(replay.x_hat, first.x_hat)
+        assert replay.shard_id == target
+
+        # New work after the move is byte-identical to an unsharded control:
+        # the base seed and request counter migrated intact.
+        fresh = scheduler.execute(
+            QueryRequest("acme-s1", plan="Identity", epsilon=0.2)
+        )
+        control_manager = SessionManager()
+        control = PlanScheduler(control_manager, executor="inline")
+        control_manager.create_session(
+            "acme", relation, 10.0, seed=7, session_id="acme-s1"
+        )
+        # Mirror the migrated session's request sequence exactly — the
+        # cached replay consumed a request id too.
+        control.execute(QueryRequest("acme-s1", plan="Identity", epsilon=0.1))
+        control.execute(QueryRequest("acme-s1", plan="Identity", epsilon=0.1))
+        control_fresh = control.execute(
+            QueryRequest("acme-s1", plan="Identity", epsilon=0.2)
+        )
+        assert np.array_equal(fresh.x_hat, control_fresh.x_hat)
+        assert fresh.seed == control_fresh.seed
+        scheduler.shutdown()
+
+    def test_remove_shard_migrates_everything_off(self, relation):
+        router = ShardRouter(num_shards=3)
+        cache = MeasurementCache()
+        for i in range(9):
+            router.create_session("acme", relation, 10.0, seed=i)
+        victim = max(router.stats["shards"], key=router.stats["shards"].get)
+        stranded = [sid for sid, owner in router.owners().items() if owner == victim]
+        moves = router.remove_shard(victim, measurement_cache=cache)
+        assert sorted(move[0] for move in moves) == sorted(stranded)
+        owners = router.owners()
+        assert len(owners) == 9
+        assert victim not in set(owners.values())
+        with pytest.raises(KeyError):
+            router.shard(victim)
+        for session in router.sessions():
+            assert reconcile(session)["exact"]
+
+    def test_migrate_requires_a_router(self, relation):
+        scheduler = PlanScheduler(SessionManager(), executor="inline")
+        with pytest.raises(TypeError, match="ShardRouter"):
+            scheduler.migrate_session("nope", "shard-0")
+
+    def test_sharded_answers_match_unsharded(self, relation):
+        router = ShardRouter(num_shards=4)
+        sharded = PlanScheduler(router, executor="inline")
+        router.create_session("acme", relation, 10.0, seed=7, session_id="acme-s1")
+        manager = SessionManager()
+        plain = PlanScheduler(manager, executor="inline")
+        manager.create_session("acme", relation, 10.0, seed=7, session_id="acme-s1")
+        for request in _requests("acme-s1"):
+            a = sharded.execute(request)
+            b = plain.execute(request)
+            assert np.array_equal(a.payload, b.payload)
+            assert a.seed == b.seed
+            assert a.epsilon_spent == b.epsilon_spent
+        # Shard-labelled series exist on the sharded service only.
+        shard_counters = [
+            counter
+            for counter in sharded.metrics.instruments()[0]
+            if counter.name == "privacy_spend_shard"
+        ]
+        assert shard_counters and sum(c.value for c in shard_counters) > 0
+        assert not [
+            counter
+            for counter in plain.metrics.instruments()[0]
+            if counter.name == "privacy_spend_shard"
+        ]
