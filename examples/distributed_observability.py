@@ -1,0 +1,142 @@
+"""Distributed observability: one trace across process workers, a postmortem
+bundle, and SLO burn rates.
+
+The execution core can push plan compute into worker processes; this
+walkthrough shows that the observability layer follows it there:
+
+1. runs a DAWA request on the **process backend** with a
+   :class:`~repro.telemetry.Tracer` attached — the worker records its spans
+   on a private tracer, ships them home in the job outcome, and the driver
+   adopts them into the live trace, so the printed span tree is one request
+   end to end (note the ``executor.worker`` subtree carrying the worker's
+   pid) and the Chrome export renders driver and worker in separate process
+   lanes,
+2. attaches a :class:`~repro.telemetry.FlightRecorder` and fails a request
+   on purpose: the failure dumps a postmortem bundle (spans + outcomes +
+   metrics + breaker state) into ``postmortem/``,
+3. evaluates latency / availability / privacy-burn SLOs over the scheduler's
+   registry with :func:`repro.service.slo_report`.
+
+Run:  python examples/distributed_observability.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.dataset import small_census
+from repro.private import DeadlineExceededError
+from repro.service import (
+    PlanScheduler,
+    ProcessExecutor,
+    QueryRequest,
+    SessionManager,
+    slo_report,
+)
+from repro.telemetry import FlightRecorder, SloSpec, Tracer, write_chrome_trace
+
+HERE = Path(__file__).resolve().parent
+TRACE_OUT = HERE / "distributed_trace.json"
+POSTMORTEM_DIR = HERE / "postmortem"
+
+
+def span_tree(spans) -> None:
+    children: dict[str | None, list] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def walk(parent_id, depth):
+        for span in sorted(children.get(parent_id, []), key=lambda s: s.start):
+            extras = [f"pid={span.process}"] if span.process != os.getpid() else []
+            extras += [
+                f"{k}={span.attributes[k]}"
+                for k in ("backend", "epsilon", "attempt")
+                if k in span.attributes
+            ]
+            print(
+                f"  {'  ' * depth}{span.name:34s} {span.duration * 1e3:7.2f} ms"
+                + (f"  [{', '.join(extras)}]" if extras else "")
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+
+
+def main() -> None:
+    executor = ProcessExecutor(max_workers=2)
+    manager = SessionManager()
+    session = manager.create_session("acme", small_census(), epsilon_total=2.0, seed=42)
+    tracer = Tracer()
+    recorder = FlightRecorder(directory=POSTMORTEM_DIR)
+    scheduler = PlanScheduler(
+        manager, tracer=tracer, executor=executor, flight_recorder=recorder
+    )
+    n = session.vector_source().domain_size
+
+    print("=== 1. One trace across the process boundary ===")
+    print(f"driver pid: {os.getpid()}")
+    dawa = scheduler.execute(
+        QueryRequest(
+            session.session_id,
+            plan="DAWA",
+            epsilon=0.5,
+            workload="prefix",
+            workload_params={"n": n},
+        )
+    )
+    span_tree(tracer.trace(dawa.trace_id))
+    write_chrome_trace(tracer.trace(dawa.trace_id), TRACE_OUT)
+    print(
+        f"wrote {TRACE_OUT.name} - the worker's spans render in their own "
+        "process lane in ui.perfetto.dev"
+    )
+
+    print("\n=== 2. Postmortem bundle on a failed request ===")
+    # An impossible deadline: the request is ledgered as a timeout, and the
+    # failure freezes the recorder's rings into a postmortem bundle.
+    try:
+        scheduler.execute(
+            QueryRequest(
+                session.session_id, plan="Identity", epsilon=0.1,
+                deadline_seconds=1e-9,
+            )
+        )
+    except DeadlineExceededError as exc:
+        print(f"request failed as arranged: {exc}")
+    bundle = recorder.bundles[-1]
+    print(
+        f"bundle: reason={bundle['reason']} spans={len(bundle['spans'])} "
+        f"outcomes={len(bundle['outcomes'])}"
+    )
+    print(f"written to {Path(bundle['path']).relative_to(HERE)}/ "
+          "(spans.jsonl, trace.json, metrics.json, state.json)")
+
+    print("\n=== 3. SLO burn rates over the live registry ===")
+    report = slo_report(
+        scheduler,
+        specs=[
+            SloSpec(name="latency-p99-1s", kind="latency", target=0.99,
+                    threshold_seconds=1.0),
+            SloSpec(name="availability", kind="error_rate", target=0.999),
+            SloSpec(name="acme-privacy-burn", kind="privacy_burn", tenant="acme",
+                    budget=2.0, horizon_seconds=86400.0),
+        ],
+    )
+    for result in report["results"]:
+        rule = result["rules"][0]
+        print(
+            f"  {result['name']:18s} sli={result['sli']:.4f} "
+            f"burn={rule['short_burn_rate']:.2f}x/"
+            f"{rule['long_burn_rate']:.2f}x alerting={result['alerting']}"
+        )
+    print(
+        "(two requests, one failed on purpose: a 50% error rate against a "
+        "99.9% target is a huge burn rate - exactly what should page)"
+    )
+
+    executor.shutdown()
+
+
+if __name__ == "__main__":
+    main()

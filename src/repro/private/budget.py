@@ -39,6 +39,7 @@ bursts do not degrade quadratically.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Optional
@@ -413,6 +414,24 @@ class BudgetTracker:
     def ledger(self) -> list[Cost]:
         """A copy of the accepted root-level charges, in order."""
         return list(self._ledger)
+
+    @property
+    def num_charges(self) -> int:
+        """Number of accepted root-level charges (the ledger's length)."""
+        return len(self._ledger)
+
+    def charged_between(self, start: int, stop: int) -> float:
+        """Exact primary spend of the ledger slice ``[start, stop)``.
+
+        ``math.fsum`` over the slice's own charges: the result depends only
+        on the charges themselves, not on what the running accumulator held
+        when they landed — so two executions that make identical charges
+        report identical spend regardless of how concurrent requests
+        interleaved around them.  The naive difference of two running totals
+        does not have that property (its last ulp shifts with the prior
+        ledger content).
+        """
+        return math.fsum(cost.primary for cost in self._ledger[start:stop])
 
     def lineage(self, name: str) -> list[str]:
         """Chain of ancestors from ``name`` up to (and including) the root."""

@@ -72,6 +72,9 @@ class BudgetSnapshot:
     consumed: float
     remaining: float
     num_measurements: int
+    #: root-charge ledger length — brackets of two snapshots identify the
+    #: exact charges one execution made (see ``budget_charged_between``).
+    num_charges: int = 0
 
 
 @dataclass
@@ -250,7 +253,22 @@ class ProtectedKernel:
             consumed=self._budget.consumed(),
             remaining=self._budget.remaining(),
             num_measurements=len(self._history),
+            num_charges=self._budget.num_charges,
         )
+
+    def budget_charged_between(
+        self, before: BudgetSnapshot, after: BudgetSnapshot | None = None
+    ) -> float:
+        """Primary spend of exactly the charges between two snapshots.
+
+        Summed from the bracketed ledger slice itself (``math.fsum``), not as
+        a difference of running totals — so the value is identical however
+        concurrent executions interleaved around the bracket, which is what
+        lets every executor backend report byte-identical per-request spend.
+        ``after=None`` means "up to now".
+        """
+        stop = after.num_charges if after is not None else self._budget.num_charges
+        return self._budget.charged_between(before.num_charges, stop)
 
     def source_kind(self, name: str) -> str:
         return self._get(name).kind

@@ -27,9 +27,15 @@ needs between the two — sessions, scheduling, caching and auditing:
 Observability: construct the scheduler with a
 :class:`~repro.telemetry.Tracer` to get one hierarchical trace per request
 (``QueryResponse.trace_id``) spanning plan stages, kernel measurements and
-solver calls; metrics (latency/queue-wait histograms, outcome and cache
+solver calls — on *every* backend: process workers record their spans on a
+private tracer and the driver adopts them into the live trace, so the span
+tree is structurally identical whether a plan ran inline or in a worker
+process.  Metrics (latency/queue-wait histograms, outcome and cache
 counters, the per-tenant privacy-spend odometer) are always collected on
-``scheduler.metrics``.  See :mod:`repro.telemetry`.
+``scheduler.metrics``, with worker-side deltas merged in.  Attach a
+:class:`~repro.telemetry.FlightRecorder` for postmortem bundles on failures
+and an :class:`~repro.telemetry.SloEngine` (or call :func:`slo_report`) for
+multi-window burn-rate alerting.  See :mod:`repro.telemetry`.
 
 Typical usage::
 
@@ -61,6 +67,7 @@ from .export import (
     reconcile,
     service_report,
     session_report,
+    slo_report,
     telemetry_report,
 )
 from .measurement_cache import CachedAnswer, MeasurementCache
@@ -110,4 +117,5 @@ __all__ = [
     "reconcile",
     "export_json",
     "telemetry_report",
+    "slo_report",
 ]

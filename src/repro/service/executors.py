@@ -36,6 +36,7 @@ cache and are skipped by the shared cross-process tier.
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 import time
@@ -43,6 +44,10 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..telemetry.context import TraceContext
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.spans import Tracer, activate
 
 __all__ = [
     "ExecutorBackend",
@@ -151,6 +156,11 @@ class PlanJob:
     spend into the throwaway kernel, so the worker's budget-acceptance
     decisions mirror the live session's exactly (the session lock is held for
     the whole round trip, so the baseline cannot move underneath it).
+
+    ``trace`` is the driver's :class:`~repro.telemetry.TraceContext` (or None
+    when tracing is off): when present the worker activates a private
+    recording tracer, so the spans the plan emits come home in the outcome
+    and get adopted into the live trace under the originating span.
     """
 
     table: object
@@ -164,6 +174,7 @@ class PlanJob:
     plan_params: dict
     epsilon: float
     deadline_remaining: float | None = None
+    trace: TraceContext | None = None
 
 
 @dataclass
@@ -171,15 +182,22 @@ class PlanJobOutcome:
     """What came back: the estimate plus the accounting to adopt.
 
     ``charges`` are the root-level costs the worker's tracker accepted, in
-    order; ``records`` the measurement history rows.  On failure ``x_hat`` is
-    None and ``error`` carries the pickled original exception (when it
-    round-trips) so the parent re-raises the concrete type callers match on.
+    order; ``records`` the measurement history rows.  ``spans`` are the
+    finished spans the worker's private tracer recorded (empty when the job
+    carried no trace context) and ``metrics`` the worker registry's
+    :meth:`~repro.telemetry.MetricsRegistry.export_state` delta — both
+    travel home on success *and* failure, so a failed plan's trace and cache
+    counters are never lost.  On failure ``x_hat`` is None and ``error``
+    carries the pickled original exception (when it round-trips) so the
+    parent re-raises the concrete type callers match on.
     """
 
     x_hat: np.ndarray | None
     info: dict
     charges: list = field(default_factory=list)
     records: list = field(default_factory=list)
+    spans: list = field(default_factory=list)
+    metrics: dict | None = None
     error: bytes | None = None
     error_type: str = ""
     error_message: str = ""
@@ -225,6 +243,14 @@ def execute_plan_job(job: PlanJob) -> PlanJobOutcome:
     Failures (budget exhaustion, deadline expiry mid-plan, plan bugs) are
     returned, not raised: the partial charges they left behind must still
     reach the parent's ledger.
+
+    Observability rides along the same way: the job runs against a fresh
+    worker-side :class:`~repro.telemetry.MetricsRegistry` (bound to the
+    worker's artifact cache, so its hit/miss counters are captured too) whose
+    full state *is* the per-job delta, and — when the job carries a
+    :class:`~repro.telemetry.TraceContext` — under a private recording tracer
+    whose ``executor.worker`` root span wraps the plan run exactly like the
+    driver-side span local backends emit.
     """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
@@ -235,6 +261,9 @@ def execute_plan_job(job: PlanJob) -> PlanJobOutcome:
     from ..private.kernel import ProtectedKernel
     from ..private.protected import ProtectedDataSource
 
+    registry = MetricsRegistry()
+    _WORKER_CACHE.bind_metrics(registry)
+    worker_tracer = Tracer() if job.trace is not None else None
     accountant = make_accountant(job.accountant, job.epsilon_total, delta=job.delta)
     kernel = ProtectedKernel(
         job.table, job.epsilon_total, seed=job.seed, accountant=accountant
@@ -254,21 +283,53 @@ def execute_plan_job(job: PlanJob) -> PlanJobOutcome:
         kernel.deadline = now + job.deadline_remaining
         kernel.deadline_started = now
     source = ProtectedDataSource(kernel, "root").vectorize()
-    try:
+
+    def _run():
         plan = make_plan(job.plan, dict(job.plan_params))
-        result = plan.run(source, job.epsilon, gram_cache=_WORKER_CACHE)
+        return plan.run(source, job.epsilon, gram_cache=_WORKER_CACHE)
+
+    started = time.perf_counter()
+    try:
+        if worker_tracer is not None:
+            with activate(worker_tracer), worker_tracer.span(
+                "executor.worker", backend="process", pid=os.getpid(), plan=job.plan
+            ):
+                result = _run()
+        else:
+            result = _run()
     except Exception as exc:
+        _observe_worker(registry, job.plan, started, ok=False)
         return PlanJobOutcome(
             x_hat=None,
             info={},
             charges=charges,
             records=records,
+            spans=worker_tracer.spans() if worker_tracer is not None else [],
+            metrics=registry.export_state(),
             error=_portable_exception(exc),
             error_type=type(exc).__name__,
             error_message=str(exc),
         )
+    _observe_worker(registry, job.plan, started, ok=True)
     return PlanJobOutcome(
-        x_hat=np.asarray(result.x_hat), info=dict(result.info), charges=charges, records=records
+        x_hat=np.asarray(result.x_hat),
+        info=dict(result.info),
+        charges=charges,
+        records=records,
+        spans=worker_tracer.spans() if worker_tracer is not None else [],
+        metrics=registry.export_state(),
+    )
+
+
+def _observe_worker(
+    registry: MetricsRegistry, plan: str, started: float, ok: bool
+) -> None:
+    """Worker-side instruments; merged into the live registry on adoption."""
+    registry.counter(
+        "worker_plan_runs", plan=plan, outcome="ok" if ok else "error"
+    ).inc()
+    registry.histogram("worker_plan_seconds", plan=plan).observe(
+        time.perf_counter() - started
     )
 
 

@@ -31,6 +31,7 @@ per-request.  The admission and breaker gates live in
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass
 
@@ -39,6 +40,7 @@ from ..durability.snapshot import response_state
 from ..plans.base import PlanResult
 from ..plans.registry import make_plan
 from ..private.exceptions import DeadlineExceededError
+from ..telemetry.context import current_context
 from ..telemetry.spans import NOOP_SPAN, NULL_TRACER, activate
 from .api import QueryRequest, QueryResponse, RequestFailure
 from .executors import PlanJob, adopt_outcome
@@ -103,6 +105,10 @@ class RequestContext:
     #: client experiences too.
     deadline_anchor: float = 0.0
     key: tuple = ()
+    #: pin the root span's trace id (retries link attempts into one trace).
+    trace_id: str | None = None
+    #: 1-based attempt number under :meth:`PlanScheduler.execute_with_retry`.
+    attempt: int = 1
 
 
 class RequestPipeline:
@@ -112,9 +118,20 @@ class RequestPipeline:
         self.stages = list(stages)
 
     def execute(
-        self, session: Session, request: QueryRequest, queued_at: float | None
+        self,
+        session: Session,
+        request: QueryRequest,
+        queued_at: float | None,
+        trace_id: str | None = None,
+        attempt: int = 1,
     ) -> QueryResponse:
-        ctx = RequestContext(session=session, request=request, queued_at=queued_at)
+        ctx = RequestContext(
+            session=session,
+            request=request,
+            queued_at=queued_at,
+            trace_id=trace_id,
+            attempt=attempt,
+        )
         return self.run_ctx(ctx)
 
     def run_ctx(self, ctx: RequestContext) -> QueryResponse:
@@ -197,12 +214,14 @@ class TraceStage(_Stage):
         request, session = ctx.request, ctx.session
         with activate(tracer), tracer.span(
             "service.request",
+            trace_id=ctx.trace_id,
             request_id=request.request_id,
             session=session.session_id,
             tenant=session.tenant,
             plan=request.plan,
             workload=request.workload,
             epsilon=float(request.epsilon),
+            attempt=ctx.attempt,
         ) as root:
             ctx.root = root
             response = proceed(ctx)
@@ -366,15 +385,26 @@ class PlanRunStage(_Stage):
             # The shared artifact cache rides along so plan inference reuses
             # data-independent Gram factorisations across requests and
             # tenants, keyed by each strategy's canonical strategy_key().
+            # Every backend places plan compute under an ``executor.worker``
+            # span — locally it is opened here around the in-process run,
+            # remotely the worker's private tracer opens it and the span is
+            # adopted back — so inline/thread/process traces are structurally
+            # identical (only the pid attribute differs).
             with svc.tracer.span("plan.run", plan=request.plan):
                 if svc.executor.remote_plans:
                     result = self._run_remote(ctx, seed, before)
                 else:
-                    result = svc.executor.run_plan(
-                        lambda: plan.run(
-                            source, request.epsilon, gram_cache=svc.artifact_cache
+                    with svc.tracer.span(
+                        "executor.worker",
+                        backend=svc.executor.name,
+                        pid=os.getpid(),
+                        plan=request.plan,
+                    ):
+                        result = svc.executor.run_plan(
+                            lambda: plan.run(
+                                source, request.epsilon, gram_cache=svc.artifact_cache
+                            )
                         )
-                    )
             answers = (
                 result.answer(workload_matrix) if workload_matrix is not None else None
             )
@@ -400,7 +430,7 @@ class PlanRunStage(_Stage):
             session_id=session.session_id,
             plan=request.plan,
             epsilon_requested=request.epsilon,
-            epsilon_spent=after.consumed - before.consumed,
+            epsilon_spent=kernel.budget_charged_between(before, after),
             x_hat=result.x_hat,
             answers=answers,
             cached=False,
@@ -460,9 +490,13 @@ class PlanRunStage(_Stage):
         baseline the job carries cannot move underneath the worker; adopted
         charges re-run the live tracker's acceptance (journaling as they go)
         and the derived seed makes the answer byte-identical to local
-        execution.
+        execution.  The job carries the current trace position, and the
+        worker's spans and metrics delta are adopted *before* any error is
+        re-raised — a failed remote plan keeps its trace and its counters.
         """
         session, request = ctx.session, ctx.request
+        svc = self.svc
+        trace = current_context(svc.tracer)
         spent = session.kernel.budget_spent_cost()
         deadline_remaining = None
         if request.deadline_seconds is not None:
@@ -481,14 +515,22 @@ class PlanRunStage(_Stage):
             plan_params=dict(request.plan_params),
             epsilon=request.epsilon,
             deadline_remaining=deadline_remaining,
+            trace=trace,
         )
-        outcome = self.svc.executor.run_plan(None, job)
+        outcome = svc.executor.run_plan(None, job)
+        svc.metrics.merge_state(outcome.metrics)
+        if trace is not None and outcome.spans:
+            svc.tracer.adopt(
+                outcome.spans,
+                trace_id=trace.trace_id,
+                parent_id=trace.parent_span_id,
+            )
         adopt_outcome(session, outcome)
         if outcome.x_hat is None:
             outcome.raise_error()
         return PlanResult(
             x_hat=outcome.x_hat,
-            budget_spent=session.kernel.budget_consumed() - before.consumed,
+            budget_spent=session.kernel.budget_charged_between(before),
             info=dict(outcome.info),
         )
 
@@ -548,7 +590,7 @@ class PlanRunStage(_Stage):
         never reconcile again."""
         session, request = ctx.session, ctx.request
         after = session.kernel.budget_snapshot()
-        spent = after.consumed - before.consumed
+        spent = session.kernel.budget_charged_between(before, after)
         duration = time.perf_counter() - ctx.start
         session.record(
             SessionEvent(

@@ -244,16 +244,27 @@ class CircuitBreaker:
             circuit.opened_at = None
             circuit.probing = False
 
-    def record_failure(self, plan: str) -> None:
+    def record_failure(self, plan: str) -> bool:
+        """Record one failure; returns True when the circuit (re)opened.
+
+        True on the closed→open transition and on a failed probe (which
+        restarts the cooldown) — the two events an operator wants a
+        postmortem bundle for; repeat failures against an already-open
+        circuit return False.
+        """
         with self._lock:
             circuit = self._circuit(plan)
             circuit.consecutive_failures += 1
+            was_probing = circuit.probing
             circuit.probing = False
             if circuit.opened_at is not None:
                 # A failed probe re-opens the cooldown window from now.
                 circuit.opened_at = self._clock()
-            elif circuit.consecutive_failures >= self.failure_threshold:
+                return was_probing
+            if circuit.consecutive_failures >= self.failure_threshold:
                 circuit.opened_at = self._clock()
+                return True
+            return False
 
     def is_open(self, plan: str) -> bool:
         with self._lock:
@@ -345,7 +356,10 @@ class BreakerGate:
             # A close racing the request says nothing about the plan.
             raise
         except Exception:
-            breaker.record_failure(plan_name)
+            if breaker.record_failure(plan_name):
+                postmortem = getattr(self.svc, "_postmortem", None)
+                if postmortem is not None:
+                    postmortem("breaker_open", plan=plan_name)
             raise
         breaker.record_success(plan_name)
         return response

@@ -79,7 +79,9 @@ from typing import Sequence
 
 from ..durability.faults import FaultInjector, WorkerDeath
 from ..telemetry.metrics import MetricsRegistry
-from ..telemetry.spans import NullTracer, Tracer, NULL_TRACER
+from ..telemetry.recorder import FlightRecorder
+from ..telemetry.slo import SloEngine
+from ..telemetry.spans import NullTracer, Tracer, NULL_TRACER, activate
 from .api import QueryRequest, QueryResponse, RequestFailure
 from .artifact_cache import ArtifactCache
 from .executors import ExecutorBackend, make_executor
@@ -117,6 +119,8 @@ class PlanScheduler:
         breaker: CircuitBreaker | None = None,
         fault_injector: FaultInjector | None = None,
         executor: str | ExecutorBackend | None = None,
+        flight_recorder: FlightRecorder | None = None,
+        slo_engine: SloEngine | None = None,
     ):
         #: the session directory: a SessionManager or a ShardRouter (they
         #: duck-type the same create/get/close/adopt surface).
@@ -142,6 +146,17 @@ class PlanScheduler:
         #: where driving threads and plan compute run ("inline", "thread",
         #: "process" or an ExecutorBackend instance; default: thread pool).
         self.executor = make_executor(executor, max_workers=max_workers)
+        #: postmortem capture: None (the default) records nothing.  With a
+        #: recorder attached, every finished span (adopted worker spans
+        #: included) and request outcome enters its ring buffers, and request
+        #: failures / breaker opens / worker deaths trigger a bundle dump.
+        self.flight_recorder = flight_recorder
+        if flight_recorder is not None and self.tracer is not NULL_TRACER:
+            self.tracer.add_listener(flight_recorder.record_span)
+        #: burn-rate alerting over this scheduler's registry; None by default
+        #: (``export.slo_report`` builds an ephemeral engine on demand).  An
+        #: injected engine must be built over ``self.metrics``.
+        self.slo_engine = slo_engine
         #: the outer request chain and the locked interior it hands off to
         #: (via :meth:`_run_locked`, the documented stall/wrap seam).
         self._pipeline = RequestPipeline(default_stages(self))
@@ -214,12 +229,18 @@ class PlanScheduler:
                 "migrate_session requires the scheduler to run on a ShardRouter; "
                 f"got {type(router).__name__}"
             )
-        session = router.migrate_session(
-            session_id,
-            target_shard_id,
-            measurement_cache=self.measurement_cache,
-            strict=strict,
-        )
+        # The migration runs under its own trace (drain → snapshot → restore
+        # seams inside the router attach via trace_span), so a rebalance is
+        # as observable as a request — across the same backends.
+        with activate(self.tracer), self.tracer.span(
+            "service.migrate", session=session_id, target=target_shard_id
+        ):
+            session = router.migrate_session(
+                session_id,
+                target_shard_id,
+                measurement_cache=self.measurement_cache,
+                strict=strict,
+            )
         self.metrics.counter(
             "service_migrations", tenant=session.tenant, shard=target_shard_id
         ).inc()
@@ -254,11 +275,26 @@ class PlanScheduler:
             request = replace(request, request_id=session.next_request_id())
         rng = policy.rng()
         failures = 0
+        trace_id: str | None = None
         while True:
             try:
-                return self._execute_guarded(session, request, time.perf_counter())
+                return self._execute_guarded(
+                    session,
+                    request,
+                    time.perf_counter(),
+                    trace_id=trace_id,
+                    attempt=failures + 1,
+                )
             except Exception as exc:
                 failures += 1
+                # Link the retry into the originating attempt's trace: every
+                # attempt's root span carries the same trace id plus its own
+                # ``attempt`` attribute, so a retried request reads as one
+                # trace instead of N disconnected ones.
+                if trace_id is None:
+                    failure = RequestFailure.of(exc)
+                    if failure is not None and failure.trace_id is not None:
+                        trace_id = failure.trace_id
                 if failures >= policy.max_attempts or not policy.is_retryable(exc):
                     raise
                 self.metrics.counter(
@@ -268,10 +304,17 @@ class PlanScheduler:
                 request = replace(request, reuse=True)
 
     def _execute_guarded(
-        self, session: Session, request: QueryRequest, queued_at: float | None
+        self,
+        session: Session,
+        request: QueryRequest,
+        queued_at: float | None,
+        trace_id: str | None = None,
+        attempt: int = 1,
     ) -> QueryResponse:
         """One request through the full stage chain (see the module docs)."""
-        return self._pipeline.execute(session, request, queued_at)
+        return self._pipeline.execute(
+            session, request, queued_at, trace_id=trace_id, attempt=attempt
+        )
 
     def _run_locked(
         self,
@@ -330,6 +373,36 @@ class PlanScheduler:
         )
         unit = "rho" if session.kernel.accountant.name == "zcdp" else "epsilon"
         metrics.record_privacy_spend(tenant, request.plan, spent, unit=unit, shard=shard)
+        recorder = self.flight_recorder
+        if recorder is not None:
+            recorder.record_outcome(
+                {
+                    "request_id": request.request_id,
+                    "session_id": session.session_id,
+                    "tenant": tenant,
+                    "plan": request.plan,
+                    "outcome": outcome,
+                    "duration_seconds": duration,
+                    "queue_wait_seconds": queue_wait,
+                    "epsilon_spent": spent,
+                    "shard": shard,
+                }
+            )
+            if outcome in ("error", "timeout"):
+                self._postmortem(
+                    "request_failure",
+                    request_id=request.request_id,
+                    plan=request.plan,
+                    tenant=tenant,
+                    outcome=outcome,
+                )
+
+    def _postmortem(self, reason: str, **context) -> dict | None:
+        """Dump a flight-recorder bundle (no-op without a recorder)."""
+        recorder = self.flight_recorder
+        if recorder is None:
+            return None
+        return recorder.dump(reason, scheduler=self, context=context)
 
     # ------------------------------------------------------------------
     # Batched path.
@@ -410,6 +483,13 @@ class PlanScheduler:
                         )
                     if failure.batch_index is None:
                         failure = replace(failure, batch_index=index)
+                    if isinstance(exc, WorkerDeath):
+                        self._postmortem(
+                            "worker_death",
+                            request_id=request.request_id,
+                            plan=request.plan,
+                            error=str(exc),
+                        )
                     if not failure.ledgered:
                         try:
                             orphans = self._claim_orphaned_spend(request, exc)

@@ -38,6 +38,7 @@ import itertools
 import threading
 from bisect import bisect_right
 
+from ..telemetry.spans import trace_span
 from .session import Session, SessionManager
 
 __all__ = ["Shard", "ShardRouter", "VIRTUAL_NODES"]
@@ -320,8 +321,16 @@ class ShardRouter:
             if owner == target_shard_id:
                 return source.manager.get(session_id)
             # Drain: stop admitting, wait out in-flight work, final ledger.
-            session = source.manager.close(session_id, drain=True)
-            snapshot = snapshot_session(session, measurement_cache=measurement_cache)
+            # The phase spans attach to whatever tracer the caller activated
+            # (the scheduler's ``service.migrate`` span) and are no-ops
+            # otherwise, so a migration's drain/snapshot/restore timings are
+            # readable in the same trace as the requests around it.
+            with trace_span("shard.drain", session=session_id, source=owner):
+                session = source.manager.close(session_id, drain=True)
+            with trace_span("shard.snapshot", session=session_id):
+                snapshot = snapshot_session(
+                    session, measurement_cache=measurement_cache
+                )
             journal = session.journal
             if journal is not None:
                 session.detach_journal()
@@ -330,14 +339,17 @@ class ShardRouter:
                 # restore below re-stores every exported answer under the
                 # new session's scope.
                 measurement_cache.invalidate_session(session)
-            restored = restore_session(
-                session.table,
-                snapshot=snapshot,
-                journal=journal,
-                manager=None,
-                measurement_cache=measurement_cache,
-                strict=strict,
-            )
+            with trace_span(
+                "shard.restore", session=session_id, target=target_shard_id
+            ):
+                restored = restore_session(
+                    session.table,
+                    snapshot=snapshot,
+                    journal=journal,
+                    manager=None,
+                    measurement_cache=measurement_cache,
+                    strict=strict,
+                )
             target.manager.adopt(restored)
             restored.shard_id = target_shard_id
             self._owners[session_id] = target_shard_id

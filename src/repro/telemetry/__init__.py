@@ -14,6 +14,16 @@ the composition observable at runtime without touching plan logic:
   privacy-spend odometer (cumulative ε/ρ and burn rate per tenant per plan).
 * :mod:`~repro.telemetry.exporters` — JSON-lines span dumps, Chrome
   ``chrome://tracing`` trace-event files, Prometheus text exposition.
+* :class:`TraceContext` / :meth:`Tracer.adopt <repro.telemetry.spans.Tracer.adopt>`
+  — distributed tracing across executor worker processes: a picklable trace
+  position ships with each remote plan job, the worker records spans on a
+  private tracer, and the driver adopts them into the live trace so one span
+  tree covers every backend identically.
+* :class:`FlightRecorder` — a bounded ring of recent spans and request
+  outcomes that dumps a postmortem bundle on failures and breaker trips.
+* :class:`SloEngine` / :class:`SloSpec` — declarative latency, error-rate and
+  privacy-burn objectives with multi-window burn-rate alerting over the
+  registry.
 
 Everything is dependency-free and clock-injectable (see
 :mod:`~repro.telemetry.clock`), so tests run deterministically and the
@@ -30,6 +40,7 @@ Typical service usage::
 """
 
 from .clock import DEFAULT_CLOCK, Clock, ManualClock
+from .context import TraceContext, current_context
 from .exporters import (
     prometheus_text,
     spans_to_chrome_trace,
@@ -45,6 +56,8 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .recorder import FlightRecorder
+from .slo import DEFAULT_WINDOWS, BurnWindow, SloEngine, SloSpec, default_slos
 from .spans import (
     NOOP_SPAN,
     NULL_TRACER,
@@ -58,6 +71,14 @@ from .spans import (
 )
 
 __all__ = [
+    "TraceContext",
+    "current_context",
+    "FlightRecorder",
+    "SloSpec",
+    "SloEngine",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "default_slos",
     "Clock",
     "DEFAULT_CLOCK",
     "ManualClock",

@@ -1,0 +1,52 @@
+"""Trace context propagation: carrying a trace across process boundaries.
+
+A :class:`TraceContext` is the picklable essence of "where we are" in a
+trace — the trace id plus the span id of the enclosing span.  The scheduler
+captures one from its live tracer next to the other fields of a
+:class:`~repro.service.executors.PlanJob`, ships it to the worker process,
+and the worker activates a private recording :class:`~repro.telemetry.Tracer`
+whose finished spans come home in the
+:class:`~repro.service.executors.PlanJobOutcome`.  Adoption
+(:meth:`~repro.telemetry.spans.Tracer.adopt`) then re-ids those spans into
+the live tracer's id space and re-parents their roots under
+``parent_span_id``, so one trace covers the driver *and* the worker with no
+id collisions — structurally identical to the span tree local execution
+would have produced.
+
+The context is deliberately tiny (two strings): it carries no clock state
+because ``time.perf_counter`` reads the system-wide monotonic clock on the
+platforms this repo targets, so worker span timestamps land on the same
+timeline as the driver's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spans import NULL_TRACER, current_tracer
+
+__all__ = ["TraceContext", "current_context"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A picklable pointer into a live trace (trace id + parent span id)."""
+
+    trace_id: str
+    parent_span_id: str | None = None
+
+
+def current_context(tracer=None) -> TraceContext | None:
+    """Capture the current thread's trace position, or None when untraced.
+
+    ``tracer`` defaults to the thread's active tracer; with no tracer active
+    or no span open there is nothing to propagate and remote work runs with
+    tracing off (the worker pays zero overhead).
+    """
+    tracer = tracer if tracer is not None else current_tracer()
+    if tracer is NULL_TRACER:
+        return None
+    span = tracer.current_span()
+    if span is None or span.trace_id is None:
+        return None
+    return TraceContext(trace_id=span.trace_id, parent_span_id=span.span_id)

@@ -15,6 +15,14 @@ The registry doubles as the service's **privacy-spend odometer**: every
 request's budget delta is recorded per (tenant, plan) together with first/last
 observation times, so operators can read cumulative ε/ρ burn and burn *rate*
 per tenant without walking session ledgers.
+
+Registries are **mergeable**: :meth:`MetricsRegistry.export_state` captures
+every instrument as picklable plain data and :meth:`MetricsRegistry.merge_state`
+folds such a capture into another registry — counters and histogram bucket
+vectors add, gauges take the incoming value, odometer entries accumulate.
+This is how executor worker processes ship their per-job metrics delta home
+(each job runs against a fresh worker-side registry, so the full capture *is*
+the delta) without the cache hits and solver timings they observed vanishing.
 """
 
 from __future__ import annotations
@@ -309,6 +317,100 @@ class MetricsRegistry:
                 list(self._gauges.values()),
                 list(self._histograms.values()),
             )
+
+    # ------------------------------------------------------------------
+    # Mergeable state capture (worker metrics adoption).
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Every instrument as picklable plain data (lists and tuples only).
+
+        The capture is loss-free: merging it into an empty registry with
+        :meth:`merge_state` reproduces every counter value, histogram bucket
+        vector (plus sum/count/min/max) and odometer entry exactly.
+        """
+        with self._lock:
+            return {
+                "counters": [
+                    (c.name, c.labels, c.value) for c in self._counters.values()
+                ],
+                "gauges": [(g.name, g.labels, g.value) for g in self._gauges.values()],
+                "histograms": [
+                    (
+                        h.name,
+                        h.labels,
+                        h.bounds,
+                        list(h.counts),
+                        h.total,
+                        h.count,
+                        h.minimum,
+                        h.maximum,
+                    )
+                    for h in self._histograms.values()
+                ],
+                "spend": [
+                    (
+                        e.tenant,
+                        e.plan,
+                        e.unit,
+                        e.spent,
+                        e.requests,
+                        e.first_time,
+                        e.last_time,
+                    )
+                    for e in self._spend.values()
+                ],
+            }
+
+    def merge_state(self, state: dict | None) -> None:
+        """Fold an :meth:`export_state` capture into this registry.
+
+        Counters add; gauges take the incoming value (last-write-wins — a
+        gauge is a level, not a total); histograms add bucket vectors and
+        combine min/max (bucket bounds must match, or the series diverged);
+        odometer entries accumulate spend/requests and widen the observation
+        window.  Safe to call with ``None`` (no-op), so adoption sites need
+        no branching.
+        """
+        if not state:
+            return
+        for name, labels, value in state.get("counters", ()):
+            self.counter(name, **dict(labels)).inc(value)
+        for name, labels, value in state.get("gauges", ()):
+            self.gauge(name, **dict(labels)).set(value)
+        for name, labels, bounds, counts, total, count, minimum, maximum in state.get(
+            "histograms", ()
+        ):
+            histogram = self.histogram(name, buckets=tuple(bounds), **dict(labels))
+            if histogram.bounds != tuple(float(b) for b in bounds):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            for i, bucket_count in enumerate(counts):
+                histogram.counts[i] += int(bucket_count)
+            histogram.total += float(total)
+            histogram.count += int(count)
+            if count:
+                histogram.minimum = min(histogram.minimum, float(minimum))
+                histogram.maximum = max(histogram.maximum, float(maximum))
+        with self._lock:
+            for tenant, plan, unit, spent, requests, first_time, last_time in state.get(
+                "spend", ()
+            ):
+                entry = self._spend.get((tenant, plan))
+                if entry is None:
+                    entry = self._spend[(tenant, plan)] = _SpendEntry(
+                        tenant, plan, unit
+                    )
+                entry.spent += float(spent)
+                entry.requests += int(requests)
+                if first_time is not None and (
+                    entry.first_time is None or first_time < entry.first_time
+                ):
+                    entry.first_time = first_time
+                if last_time is not None and (
+                    entry.last_time is None or last_time > entry.last_time
+                ):
+                    entry.last_time = last_time
 
 
 def _render_key(name: str, labels: _LabelKey) -> str:

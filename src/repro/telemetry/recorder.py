@@ -1,0 +1,166 @@
+"""Flight recorder: bounded postmortem capture of spans and request outcomes.
+
+A :class:`FlightRecorder` rides along with a scheduler and keeps two ring
+buffers — the most recently finished spans (fed by
+:meth:`~repro.telemetry.spans.Tracer.add_listener`) and the most recent
+request outcomes.  When something goes wrong — a request fails, a circuit
+breaker opens, a :class:`~repro.durability.faults.FaultInjector` kills a
+worker — :meth:`dump` freezes everything into a **postmortem bundle**:
+
+* ``spans.jsonl`` — the span ring as JSON lines (greppable),
+* ``trace.json`` — the same spans as a Chrome/Perfetto trace document,
+* ``metrics.json`` — a full metrics-registry snapshot (odometer included),
+* ``state.json`` — the trigger reason/context plus breaker and admission
+  stats and the recent request outcomes.
+
+Bundles are written under ``directory/postmortem-<seq>-<reason>/`` when a
+directory is configured, and always kept in the bounded in-memory
+:attr:`bundles` list so tests and REPL debugging need no filesystem.  The
+recorder is deliberately passive: it never raises out of ``dump`` into the
+failing request path (a broken disk must not turn a shed request into a
+crashed scheduler), and ring-buffer appends are O(1) deque operations cheap
+enough for the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+
+from .clock import DEFAULT_CLOCK, Clock
+from .exporters import spans_to_chrome_trace, spans_to_jsonlines
+from .spans import Span
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of spans + outcomes with postmortem dumps."""
+
+    def __init__(
+        self,
+        max_spans: int = 2048,
+        max_outcomes: int = 256,
+        max_bundles: int = 16,
+        directory: str | Path | None = None,
+        clock: Clock | None = None,
+    ):
+        self._clock = clock if clock is not None else DEFAULT_CLOCK
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._outcomes: deque[dict] = deque(maxlen=max_outcomes)
+        self._sequence = 0
+        self.directory = Path(directory) if directory is not None else None
+        #: Recent postmortem bundles (newest last), bounded by ``max_bundles``.
+        self.bundles: deque[dict] = deque(maxlen=max_bundles)
+        #: Paths of bundles written to disk (unbounded — they are just strings).
+        self.bundle_paths: list[Path] = []
+
+    # ------------------------------------------------------------------
+    # Hot-path feeds.
+    # ------------------------------------------------------------------
+    def record_span(self, span: Span) -> None:
+        """Tracer listener hook: remember a finished span."""
+        with self._lock:
+            self._spans.append(span)
+
+    def record_outcome(self, outcome: dict) -> None:
+        """Remember one request's outcome summary (plan, tenant, status...)."""
+        with self._lock:
+            self._outcomes.append(dict(outcome))
+
+    # ------------------------------------------------------------------
+    # Views.
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def outcomes(self) -> list[dict]:
+        with self._lock:
+            return [dict(outcome) for outcome in self._outcomes]
+
+    # ------------------------------------------------------------------
+    # Postmortem.
+    # ------------------------------------------------------------------
+    def dump(
+        self,
+        reason: str,
+        scheduler=None,
+        context: dict | None = None,
+    ) -> dict:
+        """Freeze the rings into a postmortem bundle and (maybe) write it.
+
+        ``scheduler`` is duck-typed: when given, the bundle includes its
+        metrics snapshot and breaker/admission stats.  Never raises — a
+        postmortem that cannot be written is reported inside the bundle
+        rather than allowed to take down the failing request's handler.
+        """
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+            spans = list(self._spans)
+            outcomes = [dict(outcome) for outcome in self._outcomes]
+        state: dict = {
+            "reason": reason,
+            "sequence": sequence,
+            "time": self._clock(),
+            "context": dict(context) if context else {},
+            "outcomes": outcomes,
+        }
+        metrics_snapshot: dict = {}
+        if scheduler is not None:
+            metrics = getattr(scheduler, "metrics", None)
+            if metrics is not None:
+                try:
+                    metrics_snapshot = metrics.snapshot()
+                except Exception as exc:  # pragma: no cover - defensive
+                    metrics_snapshot = {"error": repr(exc)}
+            breaker = getattr(scheduler, "breaker", None)
+            if breaker is not None:
+                state["breaker"] = breaker.stats
+            admission = getattr(scheduler, "admission", None)
+            if admission is not None:
+                state["admission"] = admission.stats
+        bundle = {
+            "reason": reason,
+            "sequence": sequence,
+            "context": state["context"],
+            "spans": [span.to_dict() for span in spans],
+            "outcomes": outcomes,
+            "metrics": metrics_snapshot,
+            "state": state,
+            "chrome_trace": spans_to_chrome_trace(spans),
+            "path": None,
+        }
+        if self.directory is not None:
+            try:
+                bundle["path"] = str(
+                    self._write_bundle(reason, sequence, spans, bundle)
+                )
+            except OSError as exc:
+                bundle["write_error"] = repr(exc)
+        self.bundles.append(bundle)
+        return bundle
+
+    def _write_bundle(
+        self, reason: str, sequence: int, spans: list[Span], bundle: dict
+    ) -> Path:
+        slug = "".join(ch if (ch.isalnum() or ch in "-_") else "-" for ch in reason)
+        target = self.directory / f"postmortem-{sequence:04d}-{slug}"
+        target.mkdir(parents=True, exist_ok=True)
+        content = spans_to_jsonlines(spans)
+        (target / "spans.jsonl").write_text(content + ("\n" if content else ""))
+        (target / "trace.json").write_text(
+            json.dumps(bundle["chrome_trace"], indent=2, default=float) + "\n"
+        )
+        (target / "metrics.json").write_text(
+            json.dumps(bundle["metrics"], indent=2, sort_keys=True, default=float) + "\n"
+        )
+        (target / "state.json").write_text(
+            json.dumps(bundle["state"], indent=2, sort_keys=True, default=float) + "\n"
+        )
+        self.bundle_paths.append(target)
+        return target

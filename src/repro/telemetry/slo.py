@@ -1,0 +1,351 @@
+"""SLO specs and multi-window burn-rate evaluation over the metrics registry.
+
+A :class:`SloSpec` declares one objective against the instruments the service
+already emits — no new instrumentation is required:
+
+* ``kind="latency"`` — a request-latency objective ("``target`` of requests
+  complete within ``threshold_seconds``"), read from the
+  ``service_request_latency_seconds`` histogram bucket vectors.  The bucket
+  whose bound is the largest one ≤ the threshold defines "good", so the SLI
+  is conservative (never flattered by bucket granularity).
+* ``kind="error_rate"`` — "``target`` of requests do not fail", read from the
+  ``service_requests`` outcome counters (``error`` and ``timeout`` are bad;
+  ``ok``/``cached``/``rejected`` are good — a rejection is backpressure
+  working, not the service failing).
+* ``kind="privacy_burn"`` — "this (tenant, plan) spends at most ``budget``
+  native budget units per ``horizon_seconds``", read from the privacy-spend
+  odometer.  This is the paper's accounting made operational: ε is an error
+  budget like any other, and a plan burning it too fast should page someone
+  *before* the accountant starts refusing charges.
+
+The :class:`SloEngine` samples :meth:`MetricsRegistry.export_state` over time
+and evaluates each spec over **multiple windows** (Google SRE-style
+multi-window multi-burn-rate alerting): an alert fires only when the error
+budget is burning at ≥ ``factor`` × the sustainable rate over *both* the
+short and the long window — the short window makes alerts fast to clear, the
+long window keeps blips from paging.  Results are returned as a report and
+published back into the registry as ``slo_sli``/``slo_burn_rate``/
+``slo_alerting`` gauges, so the Prometheus exporter surfaces them with zero
+extra plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from .clock import DEFAULT_CLOCK, Clock
+from .metrics import MetricsRegistry
+
+__all__ = ["SloSpec", "BurnWindow", "SloEngine", "DEFAULT_WINDOWS", "default_slos"]
+
+#: Outcomes that consume the error budget of an ``error_rate`` SLO.
+_BAD_OUTCOMES = frozenset({"error", "timeout"})
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative service-level objective.
+
+    ``target`` is the good-event fraction for request-based kinds (0.99 =
+    "99% of requests...").  ``tenant``/``plan`` filter the underlying series;
+    ``None`` aggregates across all values.  ``budget``/``horizon_seconds``
+    only apply to ``privacy_burn``: the allowed spend (native accountant
+    units) per horizon.
+    """
+
+    name: str
+    kind: str  # "latency" | "error_rate" | "privacy_burn"
+    target: float = 0.99
+    threshold_seconds: float | None = None
+    tenant: str | None = None
+    plan: str | None = None
+    budget: float | None = None
+    horizon_seconds: float = 86400.0
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "error_rate", "privacy_burn"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and self.threshold_seconds is None:
+            raise ValueError("latency SLOs need threshold_seconds")
+        if self.kind == "privacy_burn" and self.budget is None:
+            raise ValueError("privacy_burn SLOs need a budget")
+        if self.kind != "privacy_burn" and not 0.0 < self.target < 1.0:
+            raise ValueError("target must lie strictly between 0 and 1")
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One (short, long, factor) burn-rate alerting rule."""
+
+    short_seconds: float
+    long_seconds: float
+    factor: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.short_seconds:g}s/{self.long_seconds:g}s"
+
+
+#: SRE-workbook style defaults: a fast-burn page and a slow-burn ticket.
+DEFAULT_WINDOWS = (
+    BurnWindow(short_seconds=300.0, long_seconds=3600.0, factor=14.4),
+    BurnWindow(short_seconds=1800.0, long_seconds=21600.0, factor=6.0),
+)
+
+
+def default_slos() -> list[SloSpec]:
+    """A reasonable starter set over the standard service instruments."""
+    return [
+        SloSpec(name="latency-p99-1s", kind="latency", target=0.99, threshold_seconds=1.0),
+        SloSpec(name="availability", kind="error_rate", target=0.999),
+    ]
+
+
+class SloEngine:
+    """Samples a registry over time and evaluates SLO burn rates.
+
+    ``publish=True`` (the default) writes each evaluation back into the
+    registry as gauges.  The engine is thread-safe; the scheduler (or an
+    operator loop) calls :meth:`sample` periodically and :meth:`evaluate` on
+    demand — both are cheap relative to a single plan execution.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        specs: list[SloSpec] | None = None,
+        windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS,
+        clock: Clock | None = None,
+        publish: bool = True,
+        baseline: tuple[float, dict] | None = None,
+    ):
+        self.registry = registry
+        self.specs = list(specs) if specs is not None else default_slos()
+        self.windows = tuple(windows)
+        if not self.windows:
+            raise ValueError("SloEngine needs at least one BurnWindow")
+        self._clock = clock if clock is not None else DEFAULT_CLOCK
+        self.publish = publish
+        self._lock = threading.Lock()
+        self._samples: deque[tuple[float, dict]] = deque()
+        self._horizon = max(w.long_seconds for w in self.windows)
+        if baseline is not None:
+            # An explicit (time, state) starting point — e.g. an empty state
+            # stamped at the service's first request, so an engine built
+            # after the fact still reads lifetime rates over real elapsed
+            # time instead of a zero-width window.
+            self._samples.append((float(baseline[0]), dict(baseline[1])))
+        else:
+            # The construction-time sample is the zero-delta baseline every
+            # window falls back to while history is shorter than the window.
+            self.sample()
+
+    # ------------------------------------------------------------------
+    # Sampling.
+    # ------------------------------------------------------------------
+    def sample(self) -> float:
+        """Record one (time, registry state) point; returns the sample time."""
+        now = self._clock()
+        state = self.registry.export_state()
+        with self._lock:
+            self._samples.append((now, state))
+            # Keep exactly one sample older than the longest window so every
+            # lookback has a baseline; everything staler is dead weight.
+            while (
+                len(self._samples) > 2
+                and self._samples[1][0] <= now - self._horizon
+            ):
+                self._samples.popleft()
+        return now
+
+    def _baseline(self, now: float, window_seconds: float) -> tuple[float, dict]:
+        """The newest sample at least ``window_seconds`` old (or the oldest)."""
+        with self._lock:
+            chosen = self._samples[0]
+            for sample in self._samples:
+                if sample[0] <= now - window_seconds:
+                    chosen = sample
+                else:
+                    break
+            return chosen
+
+    # ------------------------------------------------------------------
+    # Event extraction from exported registry state.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _good_bad(spec: SloSpec, state: dict) -> tuple[float, float]:
+        """Cumulative (good, bad) event counts for a request-based SLO."""
+        good = bad = 0.0
+        if spec.kind == "latency":
+            for name, labels, bounds, counts, _total, count, _mn, _mx in state.get(
+                "histograms", ()
+            ):
+                if name != "service_request_latency_seconds":
+                    continue
+                label_map = dict(labels)
+                if spec.tenant is not None and label_map.get("tenant") != spec.tenant:
+                    continue
+                within = 0
+                for bound, bucket_count in zip(bounds, counts):
+                    if bound <= spec.threshold_seconds:
+                        within += bucket_count
+                good += within
+                bad += count - within
+        else:  # error_rate
+            for name, labels, value in state.get("counters", ()):
+                if name != "service_requests":
+                    continue
+                label_map = dict(labels)
+                if spec.tenant is not None and label_map.get("tenant") != spec.tenant:
+                    continue
+                if spec.plan is not None and label_map.get("plan") != spec.plan:
+                    continue
+                if label_map.get("outcome") in _BAD_OUTCOMES:
+                    bad += value
+                else:
+                    good += value
+        return good, bad
+
+    @staticmethod
+    def _spent(spec: SloSpec, state: dict) -> float:
+        """Cumulative odometer spend matching a ``privacy_burn`` spec."""
+        spent = 0.0
+        for tenant, plan, _unit, amount, _requests, _first, _last in state.get(
+            "spend", ()
+        ):
+            if spec.tenant is not None and tenant != spec.tenant:
+                continue
+            if spec.plan is not None and plan != spec.plan:
+                continue
+            spent += amount
+        return spent
+
+    def _window_report(
+        self, spec: SloSpec, now: float, current: dict, window_seconds: float
+    ) -> dict:
+        """SLI and burn rate of one spec over one lookback window."""
+        base_time, base_state = self._baseline(now, window_seconds)
+        elapsed = max(now - base_time, 0.0)
+        if spec.kind == "privacy_burn":
+            delta = self._spent(spec, current) - self._spent(spec, base_state)
+            allowed_rate = spec.budget / spec.horizon_seconds
+            if elapsed <= 0.0 or allowed_rate <= 0.0:
+                burn = 0.0 if delta <= 0.0 else math.inf
+            else:
+                burn = (delta / elapsed) / allowed_rate
+            cumulative = self._spent(spec, current)
+            sli = max(1.0 - cumulative / spec.budget, 0.0)
+            return {"sli": sli, "burn_rate": burn, "events": delta, "elapsed": elapsed}
+        good_now, bad_now = self._good_bad(spec, current)
+        good_base, bad_base = self._good_bad(spec, base_state)
+        good, bad = good_now - good_base, bad_now - bad_base
+        total = good + bad
+        sli = good / total if total > 0 else 1.0
+        if total <= 0:
+            burn = 0.0
+        else:
+            allowed = 1.0 - spec.target
+            burn = (bad / total) / allowed if allowed > 0 else (math.inf if bad else 0.0)
+        return {"sli": sli, "burn_rate": burn, "events": total, "elapsed": elapsed}
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+    def evaluate(self, sample_first: bool = True) -> list[dict]:
+        """Evaluate every spec over every window; optionally publish gauges.
+
+        Returns one report per spec: its per-window SLI/burn-rate figures,
+        which alert rules fired, and the overall ``alerting`` flag (true when
+        any rule's short *and* long windows both burn ≥ its factor).
+        """
+        if sample_first:
+            self.sample()
+        with self._lock:
+            now, current = self._samples[-1]
+        lookbacks = sorted(
+            {w.short_seconds for w in self.windows}
+            | {w.long_seconds for w in self.windows}
+        )
+        reports = []
+        for spec in self.specs:
+            by_window = {
+                seconds: self._window_report(spec, now, current, seconds)
+                for seconds in lookbacks
+            }
+            rules = []
+            alerting = False
+            for window in self.windows:
+                short = by_window[window.short_seconds]
+                long = by_window[window.long_seconds]
+                fired = (
+                    short["burn_rate"] >= window.factor
+                    and long["burn_rate"] >= window.factor
+                )
+                alerting = alerting or fired
+                rules.append(
+                    {
+                        "window": window.label,
+                        "factor": window.factor,
+                        "short_burn_rate": short["burn_rate"],
+                        "long_burn_rate": long["burn_rate"],
+                        "fired": fired,
+                    }
+                )
+            longest = by_window[lookbacks[-1]]
+            report = {
+                "name": spec.name,
+                "kind": spec.kind,
+                "target": spec.target,
+                "sli": longest["sli"],
+                "windows": {
+                    f"{seconds:g}s": by_window[seconds] for seconds in lookbacks
+                },
+                "rules": rules,
+                "alerting": alerting,
+            }
+            reports.append(report)
+            if self.publish:
+                self._publish(spec, report, by_window)
+        return reports
+
+    def _publish(self, spec: SloSpec, report: dict, by_window: dict) -> None:
+        registry = self.registry
+        registry.gauge("slo_sli", slo=spec.name).set(report["sli"])
+        registry.gauge("slo_alerting", slo=spec.name).set(
+            1.0 if report["alerting"] else 0.0
+        )
+        for seconds, window_report in by_window.items():
+            burn = window_report["burn_rate"]
+            registry.gauge("slo_burn_rate", slo=spec.name, window=f"{seconds:g}s").set(
+                burn if math.isfinite(burn) else math.inf
+            )
+
+    def report(self) -> dict:
+        """One JSON-ready document (used by ``export.slo_report``)."""
+        return {
+            "specs": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "target": spec.target,
+                    "threshold_seconds": spec.threshold_seconds,
+                    "tenant": spec.tenant,
+                    "plan": spec.plan,
+                    "budget": spec.budget,
+                    "horizon_seconds": spec.horizon_seconds,
+                }
+                for spec in self.specs
+            ],
+            "windows": [
+                {
+                    "short_seconds": w.short_seconds,
+                    "long_seconds": w.long_seconds,
+                    "factor": w.factor,
+                }
+                for w in self.windows
+            ],
+            "results": self.evaluate(),
+        }
